@@ -1,0 +1,133 @@
+// Command colebench regenerates the tables and figures of the COLE paper's
+// evaluation (§8). Each experiment prints the series the corresponding
+// figure plots; see EXPERIMENTS.md for paper-vs-measured notes.
+//
+// Usage:
+//
+//	colebench -exp fig9 [-blocks N] [-tx N] [-scale paper|lab|quick]
+//	colebench -exp all
+//
+// Experiments: fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1
+// mptbreakdown all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cole/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: fig9..fig15, table1, mptbreakdown, all")
+		scale   = flag.String("scale", "quick", "preset scale: quick | lab | paper")
+		blocks  = flag.Int("blocks", 0, "override block count")
+		tx      = flag.Int("tx", 0, "override transactions per block (paper: 100)")
+		memcap  = flag.Int("memcap", 0, "override COLE in-memory capacity B (entries)")
+		ratio   = flag.Int("ratio", 0, "override size ratio T")
+		fanout  = flag.Int("fanout", 0, "override MHT fanout m")
+		scratch = flag.String("scratch", "", "scratch directory (default: system temp)")
+		seed    = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	cfg, heights, prov := preset(*scale)
+	if *blocks > 0 {
+		cfg.Blocks = *blocks
+	}
+	if *tx > 0 {
+		cfg.TxPerBlock = *tx
+	}
+	if *memcap > 0 {
+		cfg.MemCap = *memcap
+	}
+	if *ratio > 0 {
+		cfg.SizeRatio = *ratio
+	}
+	if *fanout > 0 {
+		cfg.Fanout = *fanout
+	}
+	cfg.Seed = *seed
+	prov.ScratchDir = *scratch
+
+	run := func(name string, f func() (*bench.Table, error)) {
+		start := time.Now()
+		t, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Render())
+		fmt.Printf("(%s finished in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	overall := bench.OverallOptions{Heights: heights, ScratchDir: *scratch,
+		LIPPMax: heights[0], CMIMax: heights[len(heights)/2]}
+
+	all := *exp == "all"
+	any := false
+	if all || *exp == "fig9" {
+		run("fig9", func() (*bench.Table, error) { return bench.Fig9(cfg, overall) })
+		any = true
+	}
+	if all || *exp == "fig10" {
+		run("fig10", func() (*bench.Table, error) { return bench.Fig10(cfg, overall) })
+		any = true
+	}
+	if all || *exp == "fig11" {
+		run("fig11", func() (*bench.Table, error) {
+			return bench.Fig11(cfg, heights[:2], *scratch)
+		})
+		any = true
+	}
+	if all || *exp == "fig12" {
+		run("fig12", func() (*bench.Table, error) {
+			return bench.Fig12(cfg, heights[:2], *scratch)
+		})
+		any = true
+	}
+	if all || *exp == "fig13" {
+		run("fig13", func() (*bench.Table, error) { return bench.Fig13(cfg, nil, *scratch) })
+		any = true
+	}
+	if all || *exp == "fig14" {
+		run("fig14", func() (*bench.Table, error) { return bench.Fig14(cfg, prov) })
+		any = true
+	}
+	if all || *exp == "fig15" {
+		run("fig15", func() (*bench.Table, error) { return bench.Fig15(cfg, prov) })
+		any = true
+	}
+	if all || *exp == "table1" {
+		run("table1", func() (*bench.Table, error) { return bench.Table1(cfg, *scratch) })
+		any = true
+	}
+	if all || *exp == "mptbreakdown" {
+		run("mptbreakdown", func() (*bench.Table, error) { return bench.MPTBreakdown(cfg, *scratch) })
+		any = true
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// preset returns (base config, block-height sweep, provenance options)
+// for a scale tier. "paper" approaches the published setup (10^5 blocks ×
+// 100 tx would take many hours; we cap the sweep at 10^4).
+func preset(scale string) (bench.Config, []int, bench.ProvOptions) {
+	switch scale {
+	case "paper":
+		cfg := bench.Config{TxPerBlock: 100, Accounts: 100_000, Records: 100_000, MemCap: 262_144, MemBytes: 64 << 20}
+		return cfg, []int{100, 1000, 10_000}, bench.ProvOptions{Blocks: 10_000, Queries: 50}
+	case "lab":
+		cfg := bench.Config{TxPerBlock: 100, Accounts: 10_000, Records: 10_000, MemCap: 16_384, MemBytes: 8 << 20}
+		return cfg, []int{50, 200, 1000}, bench.ProvOptions{Blocks: 1000, Queries: 30}
+	default: // quick
+		cfg := bench.Config{TxPerBlock: 50, Accounts: 1000, Records: 1000, MemCap: 2048, MemBytes: 1 << 20}
+		return cfg, []int{25, 100, 300}, bench.ProvOptions{Blocks: 300, Queries: 15}
+	}
+}

@@ -1,0 +1,107 @@
+package cole_test
+
+import (
+	"testing"
+
+	"cole"
+)
+
+// TestFacadeEndToEnd exercises the public API surface: the full
+// write / read / provenance / verification / recovery cycle.
+func TestFacadeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cole.Open(cole.Options{Dir: dir, MemCapacity: 32, SizeRatio: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addr := cole.AddressFromString("facade")
+	var root cole.Hash
+	for h := uint64(1); h <= 50; h++ {
+		if err := store.BeginBlock(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Put(addr, cole.ValueFromUint64(h*2)); err != nil {
+			t.Fatal(err)
+		}
+		if root, err = store.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if store.Height() != 50 {
+		t.Fatalf("height %d", store.Height())
+	}
+	if store.RootDigest() != root {
+		t.Fatal("root digest drifted")
+	}
+
+	v, ok, err := store.Get(addr)
+	if err != nil || !ok || v.Uint64() != 100 {
+		t.Fatalf("get: %v %v %v", v.Uint64(), ok, err)
+	}
+	v, at, ok, err := store.GetAt(addr, 10)
+	if err != nil || !ok || at != 10 || v.Uint64() != 20 {
+		t.Fatalf("getat: %v %v %v %v", v.Uint64(), at, ok, err)
+	}
+
+	versions, proof, err := store.ProvQuery(addr, 20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 11 {
+		t.Fatalf("%d versions", len(versions))
+	}
+	verified, err := cole.VerifyProv(root, addr, 20, 30, proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verified) != 11 || verified[0].Blk != 30 {
+		t.Fatalf("verified: %v", verified)
+	}
+	if proof.Size() <= 0 {
+		t.Fatal("proof size must be positive")
+	}
+
+	sb := store.Storage()
+	if sb.Entries == 0 {
+		t.Fatal("no disk entries despite cascades")
+	}
+	if store.Stats().Puts != 50 {
+		t.Fatalf("stats: %+v", store.Stats())
+	}
+
+	// Clean shutdown and reopen.
+	if err := store.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := cole.Open(cole.Options{Dir: dir, MemCapacity: 32, SizeRatio: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if store2.Height() != 50 || store2.CheckpointHeight() != 50 {
+		t.Fatalf("reopen heights: %d/%d", store2.Height(), store2.CheckpointHeight())
+	}
+	v, ok, err = store2.Get(addr)
+	if err != nil || !ok || v.Uint64() != 100 {
+		t.Fatal("state lost across reopen")
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if cole.ValueFromUint64(7).Uint64() != 7 {
+		t.Fatal("uint64 round trip")
+	}
+	if cole.AddressFromString("a") == cole.AddressFromString("b") {
+		t.Fatal("addresses must differ")
+	}
+	if cole.AddressFromBytes([]byte("x")) != cole.AddressFromBytes([]byte("x")) {
+		t.Fatal("address derivation must be deterministic")
+	}
+	if cole.ValueFromBytes([]byte("short")) == (cole.Value{}) {
+		t.Fatal("value must not be zero")
+	}
+}

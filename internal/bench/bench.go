@@ -1,0 +1,348 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§8) — see DESIGN.md §3 for the
+// experiment index. Each experiment returns a Table whose rows mirror the
+// series the paper plots; absolute numbers depend on the host, but the
+// shapes (who wins, by what factor, where crossovers fall) are the
+// reproduction target.
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"cole/internal/chain"
+	"cole/internal/core"
+	"cole/internal/kvstore"
+)
+
+// System identifies a storage engine under test.
+type System string
+
+// The five systems of §8.1.1.
+const (
+	SysMPT       System = "MPT"
+	SysCOLE      System = "COLE"
+	SysCOLEAsync System = "COLE*"
+	SysLIPP      System = "LIPP"
+	SysCMI       System = "CMI"
+)
+
+// Workload identifies a transaction generator.
+type Workload string
+
+// The paper's workloads (§8.1.3).
+const (
+	WorkloadSmallBank Workload = "smallbank"
+	WorkloadKVStore   Workload = "kvstore"
+)
+
+// Config scales an experiment. Paper-scale values are 100 tx/block and up
+// to 10^5 blocks; defaults here are laptop-scale and every knob can be
+// raised.
+type Config struct {
+	Blocks     int     // number of blocks to execute
+	TxPerBlock int     // transactions per block (paper: 100)
+	Accounts   int     // SmallBank account population
+	Records    int     // KVStore record population
+	Mix        int     // KVStore mix: 0 RW, 1 RO, 2 WO (workload.Mix)
+	MemCap     int     // COLE B (entries per L0 group)
+	MemBytes   int     // kvstore write buffer for baselines
+	SizeRatio  int     // T
+	Fanout     int     // m
+	BloomFP    float64 // bloom false-positive target
+	Seed       int64
+}
+
+// Defaults fills unset fields with laptop-scale values.
+func (c Config) Defaults() Config {
+	if c.Blocks == 0 {
+		c.Blocks = 200
+	}
+	if c.TxPerBlock == 0 {
+		c.TxPerBlock = 100
+	}
+	if c.Accounts == 0 {
+		c.Accounts = 1000
+	}
+	if c.Records == 0 {
+		c.Records = 1000
+	}
+	if c.MemCap == 0 {
+		c.MemCap = 4096
+	}
+	if c.MemBytes == 0 {
+		c.MemBytes = 1 << 20
+	}
+	if c.SizeRatio == 0 {
+		c.SizeRatio = 4
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// LatencyStats summarizes a latency distribution (the paper's box plots:
+// quartiles, median, and the max outlier as tail latency).
+type LatencyStats struct {
+	Min, P25, P50, P75, P99, Max time.Duration
+}
+
+// Summarize computes LatencyStats from samples.
+func Summarize(samples []time.Duration) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	q := func(p float64) time.Duration {
+		idx := int(p * float64(len(s)-1))
+		return s[idx]
+	}
+	return LatencyStats{Min: s[0], P25: q(0.25), P50: q(0.50), P75: q(0.75), P99: q(0.99), Max: s[len(s)-1]}
+}
+
+// Result is the outcome of driving one system through one workload.
+type Result struct {
+	System       System
+	Workload     Workload
+	Blocks       int
+	Txs          int
+	Elapsed      time.Duration
+	TPS          float64
+	StorageBytes int64
+	DataBytes    int64 // value payload bytes (COLE value files; estimates elsewhere)
+	IndexBytes   int64
+	Levels       int
+	Latency      LatencyStats
+	blockLats    []time.Duration
+}
+
+// backendHandle couples a backend with its measurement hooks.
+type backendHandle struct {
+	backend chain.StateBackend
+	// measure returns (total, data, index) storage bytes and level count.
+	measure func() (int64, int64, int64, int)
+	close   func()
+}
+
+func openSystem(sys System, dir string, cfg Config) (*backendHandle, error) {
+	switch sys {
+	case SysCOLE, SysCOLEAsync:
+		b, err := chain.OpenCole(core.Options{
+			Dir:         dir,
+			MemCapacity: cfg.MemCap,
+			SizeRatio:   cfg.SizeRatio,
+			Fanout:      cfg.Fanout,
+			BloomFP:     cfg.BloomFP,
+			AsyncMerge:  sys == SysCOLEAsync,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &backendHandle{
+			backend: b,
+			measure: func() (int64, int64, int64, int) {
+				// Persist L0 so on-disk size reflects all data, as the
+				// paper measures storage after the run.
+				_ = b.Engine.FlushAll()
+				sb := b.Engine.Storage()
+				return sb.DataBytes + sb.IndexBytes, sb.DataBytes, sb.IndexBytes, sb.Levels
+			},
+			close: func() { b.Close() },
+		}, nil
+	case SysMPT:
+		b, err := chain.OpenMPT(kvstore.Options{Dir: dir, MemBytes: cfg.MemBytes, SizeRatio: cfg.SizeRatio})
+		if err != nil {
+			return nil, err
+		}
+		return &backendHandle{
+			backend: b,
+			measure: func() (int64, int64, int64, int) {
+				_ = b.DB.Flush()
+				total := b.DB.SizeOnDisk()
+				return total, 0, total, 0
+			},
+			close: func() { b.Close() },
+		}, nil
+	case SysLIPP:
+		b, err := chain.OpenLIPP(kvstore.Options{Dir: dir, MemBytes: cfg.MemBytes, SizeRatio: cfg.SizeRatio})
+		if err != nil {
+			return nil, err
+		}
+		return &backendHandle{
+			backend: b,
+			measure: func() (int64, int64, int64, int) {
+				_ = b.DB.Flush()
+				total := b.DB.SizeOnDisk()
+				return total, 0, total, 0
+			},
+			close: func() { b.Close() },
+		}, nil
+	case SysCMI:
+		b, err := chain.OpenCMI(kvstore.Options{Dir: dir, MemBytes: cfg.MemBytes, SizeRatio: cfg.SizeRatio})
+		if err != nil {
+			return nil, err
+		}
+		return &backendHandle{
+			backend: b,
+			measure: func() (int64, int64, int64, int) {
+				_ = b.DB.Flush()
+				total := b.DB.SizeOnDisk()
+				return total, 0, total, 0
+			},
+			close: func() { b.Close() },
+		}, nil
+	}
+	return nil, fmt.Errorf("bench: unknown system %q", sys)
+}
+
+// blockSource yields per-block transaction batches.
+type blockSource interface {
+	Block(n int) []chain.Tx
+}
+
+// Run drives one system through cfg.Blocks blocks of the workload and
+// collects throughput, latency, and storage.
+func Run(sys System, wl Workload, cfg Config, dir string) (Result, error) {
+	cfg = cfg.Defaults()
+	h, err := openSystem(sys, dir, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer h.close()
+
+	gen, load, err := makeWorkload(wl, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	c := chain.New(h.backend, 0)
+	// Loading phase (KVStore base data) executes before the clock starts,
+	// matching YCSB's load/run split.
+	for len(load) > 0 {
+		n := cfg.TxPerBlock
+		if n > len(load) {
+			n = len(load)
+		}
+		if _, err := c.ExecuteBlock(load[:n]); err != nil {
+			return Result{}, err
+		}
+		load = load[n:]
+	}
+
+	res := Result{System: sys, Workload: wl, Blocks: cfg.Blocks, Txs: cfg.Blocks * cfg.TxPerBlock}
+	start := time.Now()
+	for i := 0; i < cfg.Blocks; i++ {
+		bStart := time.Now()
+		if _, err := c.ExecuteBlock(gen.Block(cfg.TxPerBlock)); err != nil {
+			return Result{}, err
+		}
+		res.blockLats = append(res.blockLats, time.Since(bStart))
+	}
+	res.Elapsed = time.Since(start)
+	res.TPS = float64(res.Txs) / res.Elapsed.Seconds()
+	res.Latency = Summarize(res.blockLats)
+	res.StorageBytes, res.DataBytes, res.IndexBytes, res.Levels = h.measure()
+	return res, nil
+}
+
+func makeWorkload(wl Workload, cfg Config) (blockSource, []chain.Tx, error) {
+	switch wl {
+	case WorkloadSmallBank:
+		return newSmallBankSource(cfg), nil, nil
+	case WorkloadKVStore:
+		g, load := newKVStoreSource(cfg)
+		return g, load, nil
+	}
+	return nil, nil, fmt.Errorf("bench: unknown workload %q", wl)
+}
+
+// Table is a printable experiment output: the rows the paper plots.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render formats the table for terminal output.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// tempDir makes a scratch directory for one run.
+func tempDir(base, name string) (string, error) {
+	if base == "" {
+		base = os.TempDir()
+	}
+	return os.MkdirTemp(base, "colebench-"+name+"-")
+}
+
+// cleanup removes a scratch directory.
+func cleanup(dir string) { os.RemoveAll(dir) }
+
+// fmtBytes renders a byte count in MB with sensible precision.
+func fmtBytes(b int64) string {
+	mb := float64(b) / (1 << 20)
+	switch {
+	case mb >= 100:
+		return fmt.Sprintf("%.0fMB", mb)
+	case mb >= 1:
+		return fmt.Sprintf("%.1fMB", mb)
+	default:
+		return fmt.Sprintf("%.3fMB", mb)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1000)
+	}
+}
+
+// subdir joins a base with a run-specific name, creating it.
+func subdir(base, name string) (string, error) {
+	d := filepath.Join(base, name)
+	return d, os.MkdirAll(d, 0o755)
+}

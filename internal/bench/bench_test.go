@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns a configuration small enough for unit testing the harness.
+func tiny() Config {
+	return Config{
+		Blocks:     12,
+		TxPerBlock: 10,
+		Accounts:   50,
+		Records:    50,
+		MemCap:     64,
+		MemBytes:   32 << 10,
+		SizeRatio:  2,
+		Fanout:     4,
+		Seed:       1,
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if (Summarize(nil) != LatencyStats{}) {
+		t.Fatal("empty samples must give zero stats")
+	}
+	samples := []time.Duration{5, 1, 3, 2, 4}
+	s := Summarize(samples)
+	if s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+}
+
+func TestRunEachSystemSmallBank(t *testing.T) {
+	for _, sys := range []System{SysMPT, SysCOLE, SysCOLEAsync, SysLIPP, SysCMI} {
+		res, err := Run(sys, WorkloadSmallBank, tiny(), t.TempDir())
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if res.TPS <= 0 || res.Txs != 120 {
+			t.Fatalf("%s: implausible result %+v", sys, res)
+		}
+		if res.StorageBytes <= 0 {
+			t.Fatalf("%s: no storage measured", sys)
+		}
+	}
+}
+
+func TestRunKVStoreMixes(t *testing.T) {
+	for mix := 0; mix < 3; mix++ {
+		cfg := tiny()
+		cfg.Mix = mix
+		res, err := Run(SysCOLE, WorkloadKVStore, cfg, t.TempDir())
+		if err != nil {
+			t.Fatalf("mix %d: %v", mix, err)
+		}
+		if res.TPS <= 0 {
+			t.Fatalf("mix %d: no throughput", mix)
+		}
+	}
+}
+
+func TestColeStorageFarBelowMPT(t *testing.T) {
+	// The headline claim at miniature scale: COLE's storage is a small
+	// fraction of MPT's for the same workload.
+	cfg := tiny()
+	cfg.Blocks = 60
+	mpt, err := Run(SysMPT, WorkloadSmallBank, cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cole, err := Run(SysCOLE, WorkloadSmallBank, cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cole.StorageBytes*2 > mpt.StorageBytes {
+		t.Fatalf("COLE storage %d not well below MPT %d", cole.StorageBytes, mpt.StorageBytes)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "test",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"note"},
+	}
+	out := tab.Render()
+	for _, want := range []string{"== test ==", "333", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig14TinyRuns(t *testing.T) {
+	cfg := tiny()
+	opts := ProvOptions{Blocks: 30, BaseStates: 10, Ranges: []int{2, 8}, Queries: 3, ScratchDir: t.TempDir()}
+	tab, err := Fig14(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2*3 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+}
+
+func TestFig15TinyRuns(t *testing.T) {
+	cfg := tiny()
+	opts := ProvOptions{Blocks: 20, BaseStates: 10, Fanouts: []int{2, 8}, Queries: 2, ScratchDir: t.TempDir()}
+	tab, err := Fig15(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2*2 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+}
+
+func TestMPTBreakdownTiny(t *testing.T) {
+	tab, err := MPTBreakdown(tiny(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+}

@@ -1,0 +1,24 @@
+package bench
+
+import (
+	"cole/internal/chain"
+	"cole/internal/workload"
+)
+
+// newSmallBankSource adapts the SmallBank generator.
+func newSmallBankSource(cfg Config) blockSource {
+	return workload.NewSmallBank(cfg.Seed, cfg.Accounts)
+}
+
+// newKVStoreSource adapts the KVStore generator, returning the loading
+// phase separately.
+func newKVStoreSource(cfg Config) (blockSource, []chain.Tx) {
+	g := workload.NewKVStore(cfg.Seed, cfg.Records, workload.Mix(cfg.Mix))
+	return g, g.LoadPhase()
+}
+
+// newProvenanceSource adapts the provenance workload (§8.2.5).
+func newProvenanceSource(cfg Config, base int) (blockSource, []chain.Tx) {
+	g := workload.NewProvenance(cfg.Seed, base)
+	return g, g.LoadPhase()
+}

@@ -1,0 +1,135 @@
+// Package bloom implements the per-run Bloom filters of COLE (§4).
+//
+// Filters are built over state *addresses*, not compound keys, so a single
+// membership probe answers "does this run contain any version of addr?"
+// (the paper's first design consideration). False positives are tolerated:
+// a hit falls through to the normal run search. The filter's digest is
+// folded into the run's root hash so that non-membership can be proven
+// during provenance queries (§4, Bloom-filter discussion).
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cole/internal/types"
+)
+
+// Filter is a classic Bloom filter using Kirsch–Mitzenmacher double hashing
+// over a SHA-256 base digest.
+type Filter struct {
+	bits    []uint64
+	nbits   uint64
+	hashes  int
+	entries uint64 // number of Add calls, for stats
+}
+
+// New creates a filter sized for n expected entries at the given target
+// false-positive rate. n and fpRate are clamped to sane minimums.
+func New(n int, fpRate float64) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		fpRate = 0.01
+	}
+	// Optimal sizing: m = -n ln p / (ln 2)^2, k = m/n ln 2.
+	m := uint64(math.Ceil(-float64(n) * math.Log(fpRate) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Filter{bits: make([]uint64, (m+63)/64), nbits: m, hashes: k}
+}
+
+func baseHashes(addr types.Address) (uint64, uint64) {
+	h := types.HashData(addr[:])
+	return binary.BigEndian.Uint64(h[0:8]), binary.BigEndian.Uint64(h[8:16])
+}
+
+// Add inserts an address.
+func (f *Filter) Add(addr types.Address) {
+	h1, h2 := baseHashes(addr)
+	for i := 0; i < f.hashes; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.entries++
+}
+
+// MayContain reports whether addr may be present (false means definitely
+// absent).
+func (f *Filter) MayContain(addr types.Address) bool {
+	h1, h2 := baseHashes(addr)
+	for i := 0; i < f.hashes; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Entries returns the number of insertions.
+func (f *Filter) Entries() uint64 { return f.entries }
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.nbits }
+
+// Digest hashes the filter contents; it is combined with the run's Merkle
+// root when computing the state root digest so verifiers can authenticate
+// non-membership answers.
+func (f *Filter) Digest() types.Hash {
+	return types.HashData(f.Marshal())
+}
+
+// Marshal serializes the filter (stored in the run's metadata file).
+func (f *Filter) Marshal() []byte {
+	buf := make([]byte, 8+8+8+8*len(f.bits))
+	binary.BigEndian.PutUint64(buf[0:8], f.nbits)
+	binary.BigEndian.PutUint64(buf[8:16], uint64(f.hashes))
+	binary.BigEndian.PutUint64(buf[16:24], f.entries)
+	for i, w := range f.bits {
+		binary.BigEndian.PutUint64(buf[24+8*i:], w)
+	}
+	return buf
+}
+
+// Unmarshal parses a filter serialized by Marshal.
+func Unmarshal(b []byte) (*Filter, error) {
+	if len(b) < 24 {
+		return nil, fmt.Errorf("bloom: truncated header: %d bytes", len(b))
+	}
+	nbits := binary.BigEndian.Uint64(b[0:8])
+	hashes := int(binary.BigEndian.Uint64(b[8:16]))
+	entries := binary.BigEndian.Uint64(b[16:24])
+	words := int((nbits + 63) / 64)
+	if hashes < 1 || hashes > 64 || nbits == 0 {
+		return nil, fmt.Errorf("bloom: corrupt header: nbits=%d hashes=%d", nbits, hashes)
+	}
+	if len(b) != 24+8*words {
+		return nil, fmt.Errorf("bloom: body length %d, want %d", len(b)-24, 8*words)
+	}
+	f := &Filter{bits: make([]uint64, words), nbits: nbits, hashes: hashes, entries: entries}
+	for i := range f.bits {
+		f.bits[i] = binary.BigEndian.Uint64(b[24+8*i:])
+	}
+	return f, nil
+}
+
+// EstimatedFPRate returns the expected false-positive rate given the number
+// of entries inserted so far.
+func (f *Filter) EstimatedFPRate() float64 {
+	if f.entries == 0 {
+		return 0
+	}
+	k := float64(f.hashes)
+	return math.Pow(1-math.Exp(-k*float64(f.entries)/float64(f.nbits)), k)
+}

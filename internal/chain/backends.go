@@ -1,0 +1,208 @@
+package chain
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cole/internal/cmi"
+	"cole/internal/core"
+	"cole/internal/kvstore"
+	"cole/internal/lipp"
+	"cole/internal/mpt"
+	"cole/internal/types"
+)
+
+// ColeBackend adapts the COLE engine (sync or async) to StateBackend.
+type ColeBackend struct {
+	Engine *core.Engine
+}
+
+// OpenCole opens a COLE backend.
+func OpenCole(opts core.Options) (*ColeBackend, error) {
+	e, err := core.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ColeBackend{Engine: e}, nil
+}
+
+// BeginBlock implements StateBackend.
+func (b *ColeBackend) BeginBlock(h uint64) error { return b.Engine.BeginBlock(h) }
+
+// Put implements StateBackend.
+func (b *ColeBackend) Put(addr types.Address, v types.Value) error { return b.Engine.Put(addr, v) }
+
+// Get implements StateBackend.
+func (b *ColeBackend) Get(addr types.Address) (types.Value, bool, error) {
+	return b.Engine.Get(addr)
+}
+
+// Commit implements StateBackend.
+func (b *ColeBackend) Commit() (types.Hash, error) { return b.Engine.Commit() }
+
+// Close implements StateBackend.
+func (b *ColeBackend) Close() error { return b.Engine.Close() }
+
+// MPTBackend adapts the persistent Merkle Patricia Trie baseline.
+type MPTBackend struct {
+	DB      *kvstore.DB
+	Trie    *mpt.Trie
+	History *mpt.History
+	height  uint64
+	open    bool
+}
+
+// OpenMPT creates an MPT backend over a fresh or existing kvstore.
+func OpenMPT(kvOpts kvstore.Options) (*MPTBackend, error) {
+	db, err := kvstore.Open(kvOpts)
+	if err != nil {
+		return nil, err
+	}
+	tr := mpt.New(db, true)
+	return &MPTBackend{DB: db, Trie: tr, History: mpt.NewHistory(tr)}, nil
+}
+
+// BeginBlock implements StateBackend.
+func (b *MPTBackend) BeginBlock(h uint64) error {
+	if b.open {
+		return fmt.Errorf("chain: block %d still open", b.height)
+	}
+	b.height = h
+	b.open = true
+	return nil
+}
+
+// Put implements StateBackend.
+func (b *MPTBackend) Put(addr types.Address, v types.Value) error { return b.Trie.Put(addr, v) }
+
+// Get implements StateBackend.
+func (b *MPTBackend) Get(addr types.Address) (types.Value, bool, error) { return b.Trie.Get(addr) }
+
+// Commit implements StateBackend.
+func (b *MPTBackend) Commit() (types.Hash, error) {
+	if !b.open {
+		return types.Hash{}, fmt.Errorf("chain: commit without block")
+	}
+	b.open = false
+	if err := b.History.CommitBlock(b.height); err != nil {
+		return types.Hash{}, err
+	}
+	return b.Trie.Root(), nil
+}
+
+// Close implements StateBackend.
+func (b *MPTBackend) Close() error { return b.DB.Close() }
+
+// LIPPBackend adapts the LIPP baseline: a persisted learned index with
+// per-block roots.
+type LIPPBackend struct {
+	DB     *kvstore.DB
+	Tree   *lipp.Tree
+	height uint64
+	open   bool
+}
+
+// OpenLIPP creates a LIPP backend.
+func OpenLIPP(kvOpts kvstore.Options) (*LIPPBackend, error) {
+	db, err := kvstore.Open(kvOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &LIPPBackend{DB: db, Tree: lipp.New(db)}, nil
+}
+
+// BeginBlock implements StateBackend.
+func (b *LIPPBackend) BeginBlock(h uint64) error {
+	if b.open {
+		return fmt.Errorf("chain: block %d still open", b.height)
+	}
+	b.height = h
+	b.open = true
+	return nil
+}
+
+// Put implements StateBackend.
+func (b *LIPPBackend) Put(addr types.Address, v types.Value) error { return b.Tree.Put(addr, v) }
+
+// Get implements StateBackend.
+func (b *LIPPBackend) Get(addr types.Address) (types.Value, bool, error) { return b.Tree.Get(addr) }
+
+// Commit implements StateBackend.
+func (b *LIPPBackend) Commit() (types.Hash, error) {
+	if !b.open {
+		return types.Hash{}, fmt.Errorf("chain: commit without block")
+	}
+	b.open = false
+	root := b.Tree.Root()
+	var k [10]byte
+	copy(k[:], "r/")
+	binary.BigEndian.PutUint64(k[2:], b.height)
+	if err := b.DB.Put(k[:], root[:]); err != nil {
+		return types.Hash{}, err
+	}
+	return root, nil
+}
+
+// RootAt returns the persisted root of a block (provenance entry point).
+func (b *LIPPBackend) RootAt(h uint64) (types.Hash, bool, error) {
+	var k [10]byte
+	copy(k[:], "r/")
+	binary.BigEndian.PutUint64(k[2:], h)
+	raw, ok, err := b.DB.Get(k[:])
+	if err != nil || !ok {
+		return types.Hash{}, ok, err
+	}
+	var out types.Hash
+	copy(out[:], raw)
+	return out, true, nil
+}
+
+// Close implements StateBackend.
+func (b *LIPPBackend) Close() error { return b.DB.Close() }
+
+// CMIBackend adapts the column-based Merkle index baseline.
+type CMIBackend struct {
+	DB     *kvstore.DB
+	Store  *cmi.Store
+	height uint64
+	open   bool
+}
+
+// OpenCMI creates a CMI backend.
+func OpenCMI(kvOpts kvstore.Options) (*CMIBackend, error) {
+	db, err := kvstore.Open(kvOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &CMIBackend{DB: db, Store: cmi.New(db)}, nil
+}
+
+// BeginBlock implements StateBackend.
+func (b *CMIBackend) BeginBlock(h uint64) error {
+	if b.open {
+		return fmt.Errorf("chain: block %d still open", b.height)
+	}
+	b.height = h
+	b.open = true
+	return nil
+}
+
+// Put implements StateBackend.
+func (b *CMIBackend) Put(addr types.Address, v types.Value) error {
+	return b.Store.Put(addr, b.height, v)
+}
+
+// Get implements StateBackend.
+func (b *CMIBackend) Get(addr types.Address) (types.Value, bool, error) { return b.Store.Get(addr) }
+
+// Commit implements StateBackend.
+func (b *CMIBackend) Commit() (types.Hash, error) {
+	if !b.open {
+		return types.Hash{}, fmt.Errorf("chain: commit without block")
+	}
+	b.open = false
+	return b.Store.Root(), nil
+}
+
+// Close implements StateBackend.
+func (b *CMIBackend) Close() error { return b.DB.Close() }

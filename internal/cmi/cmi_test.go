@@ -1,0 +1,190 @@
+package cmi
+
+import (
+	"math/rand"
+	"testing"
+
+	"cole/internal/kvstore"
+	"cole/internal/types"
+)
+
+func newStore(t *testing.T) (*Store, *kvstore.DB) {
+	t.Helper()
+	db, err := kvstore.Open(kvstore.Options{Dir: t.TempDir(), MemBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return New(db), db
+}
+
+func TestPutGetLatest(t *testing.T) {
+	s, _ := newStore(t)
+	a := types.AddressFromUint64(1)
+	for blk := uint64(1); blk <= 20; blk++ {
+		if err := s.Put(a, blk, types.ValueFromUint64(blk*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok, err := s.Get(a)
+	if err != nil || !ok || v.Uint64() != 200 {
+		t.Fatalf("get: %v %v %v", v.Uint64(), ok, err)
+	}
+	if _, ok, _ := s.Get(types.AddressFromUint64(99)); ok {
+		t.Fatal("absent address must miss")
+	}
+}
+
+func TestSameBlockOverwrite(t *testing.T) {
+	s, _ := newStore(t)
+	a := types.AddressFromUint64(2)
+	_ = s.Put(a, 5, types.ValueFromUint64(1))
+	_ = s.Put(a, 5, types.ValueFromUint64(2))
+	n, _ := s.versionCount(a)
+	if n != 1 {
+		t.Fatalf("same-block writes must collapse: %d versions", n)
+	}
+	v, _, _ := s.Get(a)
+	if v.Uint64() != 2 {
+		t.Fatal("overwrite lost")
+	}
+}
+
+func TestGetAtHistorical(t *testing.T) {
+	s, _ := newStore(t)
+	a := types.AddressFromUint64(3)
+	for _, blk := range []uint64{10, 20, 30} {
+		_ = s.Put(a, blk, types.ValueFromUint64(blk))
+	}
+	cases := []struct {
+		q, want uint64
+		ok      bool
+	}{{5, 0, false}, {10, 10, true}, {15, 10, true}, {25, 20, true}, {100, 30, true}}
+	for _, c := range cases {
+		_, b, ok, err := s.GetAt(a, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != c.ok || (ok && b != c.want) {
+			t.Fatalf("GetAt(%d) = (%d,%v), want (%d,%v)", c.q, b, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestProvQuery(t *testing.T) {
+	s, _ := newStore(t)
+	a := types.AddressFromUint64(4)
+	for blk := uint64(2); blk <= 40; blk += 2 {
+		_ = s.Put(a, blk, types.ValueFromUint64(blk))
+	}
+	out, err := s.ProvQuery(a, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 6 { // 10,12,14,16,18,20
+		t.Fatalf("got %d results", len(out))
+	}
+	if out[0].Key.Blk != 20 || out[5].Key.Blk != 10 {
+		t.Fatal("results must be newest first")
+	}
+	if _, err := s.ProvQuery(a, 20, 10); err == nil {
+		t.Fatal("inverted range must error")
+	}
+}
+
+func TestRootTracksEveryWrite(t *testing.T) {
+	s, _ := newStore(t)
+	a := types.AddressFromUint64(5)
+	if s.Root() != types.ZeroHash {
+		t.Fatal("fresh store root must be zero")
+	}
+	_ = s.Put(a, 1, types.ValueFromUint64(1))
+	r1 := s.Root()
+	_ = s.Put(a, 2, types.ValueFromUint64(2))
+	r2 := s.Root()
+	if r1 == types.ZeroHash || r1 == r2 {
+		t.Fatal("root must change with each version")
+	}
+	// Deterministic across stores.
+	s2, _ := newStore(t)
+	_ = s2.Put(a, 1, types.ValueFromUint64(1))
+	_ = s2.Put(a, 2, types.ValueFromUint64(2))
+	if s2.Root() != r2 {
+		t.Fatal("identical writes must give identical roots")
+	}
+}
+
+func TestManyAddressesAgainstOracle(t *testing.T) {
+	s, _ := newStore(t)
+	type ver struct {
+		blk uint64
+		v   types.Value
+	}
+	hist := map[types.Address][]ver{}
+	r := rand.New(rand.NewSource(7))
+	for blk := uint64(1); blk <= 200; blk++ {
+		for i := 0; i < 3; i++ {
+			a := types.AddressFromUint64(r.Uint64() % 40)
+			v := types.ValueFromUint64(r.Uint64())
+			if err := s.Put(a, blk, v); err != nil {
+				t.Fatal(err)
+			}
+			h := hist[a]
+			if len(h) > 0 && h[len(h)-1].blk == blk {
+				h[len(h)-1].v = v
+			} else {
+				h = append(h, ver{blk, v})
+			}
+			hist[a] = h
+		}
+	}
+	for a, h := range hist {
+		v, ok, err := s.Get(a)
+		if err != nil || !ok || v != h[len(h)-1].v {
+			t.Fatalf("latest mismatch for %v: %v", a, err)
+		}
+		// Random historical probes.
+		for i := 0; i < 10; i++ {
+			q := uint64(r.Intn(220))
+			var want *ver
+			for j := len(h) - 1; j >= 0; j-- {
+				if h[j].blk <= q {
+					want = &h[j]
+					break
+				}
+			}
+			gv, gb, ok, err := s.GetAt(a, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (want == nil) == ok {
+				t.Fatalf("GetAt(%v,%d): ok=%v want %v", a, q, ok, want != nil)
+			}
+			if want != nil && (gb != want.blk || gv != want.v) {
+				t.Fatalf("GetAt(%v,%d): blk %d want %d", a, q, gb, want.blk)
+			}
+		}
+	}
+	if s.Stats().HashIO == 0 {
+		t.Fatal("hash-path IO must be counted")
+	}
+}
+
+func TestStorageComparableToData(t *testing.T) {
+	// CMI avoids node persistence: storage should be within a small factor
+	// of the raw version data (the upper trie and hash nodes dominate).
+	s, db := newStore(t)
+	const versions = 2000
+	for i := uint64(0); i < versions; i++ {
+		if err := s.Put(types.AddressFromUint64(i%50), i+1, types.ValueFromUint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dataBytes := int64(versions * (8 + types.ValueSize))
+	if db.SizeOnDisk() > dataBytes*40 {
+		t.Fatalf("CMI storage %d implausibly large vs data %d", db.SizeOnDisk(), dataBytes)
+	}
+}

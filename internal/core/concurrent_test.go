@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cole/internal/types"
+)
+
+// TestConcurrentReadsDuringWrites hammers Get/GetAt/ProvQuery from
+// multiple goroutines while the write path runs blocks and background
+// merges fire (run under -race in CI). Readers must always see a
+// consistent committed state: any value returned for an address must be
+// one the workload actually wrote.
+func TestConcurrentReadsDuringWrites(t *testing.T) {
+	opts := testOpts(t, true)
+	opts.MemCapacity = 64
+	e := openEngine(t, opts)
+
+	const addrSpace = 30
+	var (
+		mu      sync.Mutex
+		written = make(map[types.Address]map[types.Value]bool)
+	)
+	record := func(a types.Address, v types.Value) {
+		mu.Lock()
+		if written[a] == nil {
+			written[a] = map[types.Value]bool{}
+		}
+		written[a][v] = true
+		mu.Unlock()
+	}
+	valid := func(a types.Address, v types.Value) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return written[a][v]
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				addr := types.AddressFromUint64(uint64(r.Intn(addrSpace)))
+				switch r.Intn(3) {
+				case 0:
+					v, ok, err := e.Get(addr)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if ok && !valid(addr, v) {
+						errs <- errPhantom
+						return
+					}
+				case 1:
+					if _, _, _, err := e.GetAt(addr, uint64(r.Intn(300)+1)); err != nil {
+						errs <- err
+						return
+					}
+				default:
+					h := e.Height()
+					if h < 2 {
+						continue
+					}
+					lo := uint64(r.Intn(int(h))) + 1
+					hi := lo + uint64(r.Intn(20))
+					if hi > h {
+						hi = h
+					}
+					if _, _, err := e.ProvQuery(addr, lo, hi); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(int64(g + 1))
+	}
+
+	// Writer: 300 blocks of 5 puts.
+	r := rand.New(rand.NewSource(0))
+	for b := uint64(1); b <= 300; b++ {
+		if err := e.BeginBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < 5; p++ {
+			a := types.AddressFromUint64(uint64(r.Intn(addrSpace)))
+			v := types.ValueFromUint64(r.Uint64())
+			record(a, v) // record before Put: readers may see it instantly
+			if err := e.Put(a, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := e.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+var errPhantom = &phantomError{}
+
+type phantomError struct{}
+
+func (*phantomError) Error() string { return "reader observed a value never written" }

@@ -1,0 +1,503 @@
+// Package core implements the COLE storage engine — the paper's primary
+// contribution (§3–§6).
+//
+// COLE stores each ledger state as a "column": every historical version of
+// an address is a compound key ⟨addr, blk⟩ appended to an LSM-organized
+// store. The in-memory level L0 is a Merkle B+-tree; each on-disk level
+// holds sorted runs indexed by learned models and authenticated by m-ary
+// Merkle files (package run). The root digest Hstate commits the L0 root(s)
+// and every committed run digest (root_hash_list).
+//
+// Two write strategies are provided, selected by Options.AsyncMerge:
+//
+//   - COLE (synchronous, Algorithm 1): a full L0 flushes into L1; a full
+//     level sort-merges into the next, recursively, inline.
+//   - COLE* (asynchronous, §5, Algorithm 5): every level holds a writing
+//     and a merging group; merges run in background goroutines between two
+//     deterministic checkpoints (start/commit), so Hstate remains identical
+//     across nodes regardless of merge timing while write stalls disappear.
+//
+// Deviation from Algorithm 1/5 (documented in DESIGN.md): flush cascades
+// trigger at block commit rather than inside Put. This guarantees compound
+// keys are globally unique (a block that updates an address twice after a
+// mid-block flush would otherwise place duplicate ⟨addr, blk⟩ keys in two
+// runs) and aligns recovery checkpoints with block heights.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"cole/internal/bloom"
+	"cole/internal/mbtree"
+	"cole/internal/pagefile"
+	"cole/internal/run"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Dir is the storage directory (created if absent).
+	Dir string
+	// MemCapacity is B: the number of entries an in-memory group holds
+	// before it is flushed at the next block commit. Default 4096.
+	MemCapacity int
+	// SizeRatio is T: runs per level group before a merge. Default 4
+	// (the paper's default).
+	SizeRatio int
+	// Fanout is m: the Merkle file fanout. Default 4 (the paper's best).
+	Fanout int
+	// PageSize is the disk page size. Default 4096.
+	PageSize int
+	// BloomFP is the per-run Bloom filter false-positive target.
+	// Default 0.01.
+	BloomFP float64
+	// CachePages bounds each file's page cache. Default 16.
+	CachePages int
+	// AsyncMerge selects COLE* (checkpoint-based asynchronous merge).
+	AsyncMerge bool
+	// MBTreeFanout is the L0 Merkle B+-tree fanout. Default 16.
+	MBTreeFanout int
+	// OptimalPLA builds run indexes with the exact convex-hull segment
+	// construction instead of the default greedy cone (ablation knob; the
+	// on-disk format is identical).
+	OptimalPLA bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemCapacity == 0 {
+		o.MemCapacity = 4096
+	}
+	if o.SizeRatio == 0 {
+		o.SizeRatio = 4
+	}
+	if o.Fanout == 0 {
+		o.Fanout = 4
+	}
+	if o.PageSize == 0 {
+		o.PageSize = pagefile.DefaultPageSize
+	}
+	if o.BloomFP == 0 {
+		o.BloomFP = 0.01
+	}
+	if o.CachePages == 0 {
+		o.CachePages = 16
+	}
+	if o.MBTreeFanout == 0 {
+		o.MBTreeFanout = mbtree.DefaultFanout
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Dir == "" {
+		return fmt.Errorf("core: Options.Dir is required")
+	}
+	if o.MemCapacity < 1 {
+		return fmt.Errorf("core: MemCapacity %d < 1", o.MemCapacity)
+	}
+	if o.SizeRatio < 2 {
+		return fmt.Errorf("core: SizeRatio %d < 2", o.SizeRatio)
+	}
+	if o.Fanout < 2 {
+		return fmt.Errorf("core: Fanout %d < 2", o.Fanout)
+	}
+	return nil
+}
+
+func (o Options) runParams() run.Params {
+	return run.Params{
+		PageSize:   o.PageSize,
+		Fanout:     o.Fanout,
+		BloomFP:    o.BloomFP,
+		CachePages: o.CachePages,
+		OptimalPLA: o.OptimalPLA,
+	}
+}
+
+// memGroup is one in-memory L0 group: an MB-tree plus an address Bloom
+// filter used as a read accelerator (the filter is not part of Hstate;
+// L0 proofs come from the tree itself).
+type memGroup struct {
+	tree   *mbtree.Tree
+	filter *bloom.Filter
+}
+
+func newMemGroup(o Options) (*memGroup, error) {
+	t, err := mbtree.New(o.MBTreeFanout)
+	if err != nil {
+		return nil, err
+	}
+	return &memGroup{tree: t, filter: bloom.New(o.MemCapacity, o.BloomFP)}, nil
+}
+
+// mergeState tracks one level's in-flight asynchronous merge.
+type mergeState struct {
+	done   chan struct{}
+	newRun *run.Run
+	err    error
+}
+
+// level is one on-disk level: two run groups (sync mode uses only the
+// writing group) and the level's merge thread.
+type level struct {
+	groups  [2][]*run.Run // committed runs, oldest first
+	writing int           // index of the writing group
+	merge   *mergeState   // in-flight merge of the merging group (async)
+}
+
+func (l *level) merging() int { return 1 - l.writing }
+
+// Engine is a COLE store.
+type Engine struct {
+	opts Options
+
+	mu sync.Mutex
+	// Block state.
+	height    uint64 // height of the block currently being built
+	committed uint64 // last committed height
+	inBlock   bool
+	// checkpoint is the replay point: every block above it must be
+	// re-executed after a crash. In sync mode it equals the last cascade
+	// height (the flush is inline, so everything at that height is
+	// durable). In async mode it is the *previous* cascade height: the
+	// newest cascade handed the L0 merging group to a background flush
+	// whose output commits only at the next checkpoint, so blocks between
+	// the two cascades still live exclusively in memory.
+	checkpoint  uint64
+	lastCascade uint64 // height of the most recent flush cascade
+
+	// L0.
+	mem        [2]*memGroup
+	memWriting int
+	memMerge   *mergeState // flush thread of the L0 merging group (async)
+
+	// On-disk levels; levels[0] is L1.
+	levels    []*level
+	nextRunID uint64
+
+	// Deferred file deletions: old runs removed from the structure are
+	// unlinked only after the manifest no longer references them.
+	pending []*run.Run
+
+	stats Stats
+}
+
+// Stats aggregates engine counters for the benchmark harness.
+type Stats struct {
+	Puts        int64
+	Gets        int64
+	ProvQueries int64
+	Flushes     int64
+	Merges      int64
+	// MergeWaits counts commit checkpoints that had to block on an
+	// unfinished merge thread (async mode back-pressure).
+	MergeWaits int64
+}
+
+// Open creates or reopens a COLE store in opts.Dir.
+func Open(opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	e := &Engine{opts: opts}
+	for i := range e.mem {
+		g, err := newMemGroup(opts)
+		if err != nil {
+			return nil, err
+		}
+		e.mem[i] = g
+	}
+	if err := e.loadManifest(); err != nil {
+		return nil, err
+	}
+	if err := e.cleanOrphans(); err != nil {
+		e.closeRuns()
+		return nil, err
+	}
+	if opts.AsyncMerge {
+		// §4.3: restart the aborted level merges for merging groups that
+		// were full at the checkpoint.
+		e.restartMerges()
+	}
+	return e, nil
+}
+
+// manifest is the durable structural snapshot (root_hash_list's backing
+// state). It is written atomically (temp + rename) before any obsolete run
+// file is deleted, which is COLE's atomicity argument (§4.3).
+type manifest struct {
+	// Height is the block height whose commit produced this structure.
+	Height uint64 `json:"height"`
+	// Replay is the recovery point: blocks above it must be re-executed
+	// after reopening (see Engine.checkpoint).
+	Replay     uint64       `json:"replay"`
+	NextRunID  uint64       `json:"next_run_id"`
+	MemWriting int          `json:"mem_writing"`
+	Async      bool         `json:"async"`
+	SizeRatio  int          `json:"size_ratio"`
+	Fanout     int          `json:"fanout"`
+	Levels     []levelState `json:"levels"`
+}
+
+type levelState struct {
+	Writing int         `json:"writing"`
+	Groups  [2][]uint64 `json:"groups"`
+}
+
+func (e *Engine) manifestPath() string { return filepath.Join(e.opts.Dir, "MANIFEST") }
+
+func (e *Engine) loadManifest() error {
+	raw, err := os.ReadFile(e.manifestPath())
+	if os.IsNotExist(err) {
+		return nil // fresh store
+	}
+	if err != nil {
+		return err
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("core: corrupt manifest: %w", err)
+	}
+	if m.Async != e.opts.AsyncMerge {
+		return fmt.Errorf("core: store was created with async=%v, reopened with async=%v", m.Async, e.opts.AsyncMerge)
+	}
+	if m.SizeRatio != e.opts.SizeRatio || m.Fanout != e.opts.Fanout {
+		return fmt.Errorf("core: store parameters T=%d m=%d do not match requested T=%d m=%d",
+			m.SizeRatio, m.Fanout, e.opts.SizeRatio, e.opts.Fanout)
+	}
+	// Resume from the replay point: the on-disk structure is newer (it
+	// reflects the cascade at m.Height), but re-executing blocks in
+	// (Replay, crash] reconstructs the lost in-memory groups; the cascade
+	// at m.Height re-triggers as a pure L0 switch without re-committing
+	// level merges (their writing groups are all below the size ratio
+	// after a completed cascade).
+	e.height = m.Replay
+	e.committed = m.Replay
+	e.checkpoint = m.Replay
+	e.lastCascade = m.Replay
+	e.nextRunID = m.NextRunID
+	e.memWriting = m.MemWriting
+	for li, ls := range m.Levels {
+		lv := &level{writing: ls.Writing}
+		for g := 0; g < 2; g++ {
+			for _, id := range ls.Groups[g] {
+				r, err := run.Open(e.opts.Dir, id, e.opts.runParams())
+				if err != nil {
+					return fmt.Errorf("core: open run %d of level %d: %w", id, li+1, err)
+				}
+				lv.groups[g] = append(lv.groups[g], r)
+			}
+		}
+		e.levels = append(e.levels, lv)
+	}
+	return nil
+}
+
+func (e *Engine) writeManifest() error {
+	m := manifest{
+		Height:     e.committed,
+		Replay:     e.checkpoint,
+		NextRunID:  e.nextRunID,
+		MemWriting: e.memWriting,
+		Async:      e.opts.AsyncMerge,
+		SizeRatio:  e.opts.SizeRatio,
+		Fanout:     e.opts.Fanout,
+	}
+	for _, lv := range e.levels {
+		ls := levelState{Writing: lv.writing}
+		for g := 0; g < 2; g++ {
+			ids := []uint64{}
+			for _, r := range lv.groups[g] {
+				ids = append(ids, r.ID)
+			}
+			ls.Groups[g] = ids
+		}
+		m.Levels = append(m.Levels, ls)
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := e.manifestPath() + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, e.manifestPath())
+}
+
+// dropPending unlinks files of runs that the freshly written manifest no
+// longer references.
+func (e *Engine) dropPending() {
+	for _, r := range e.pending {
+		_ = r.Remove()
+	}
+	e.pending = nil
+}
+
+// cleanOrphans removes run files not referenced by the manifest: leftovers
+// of interrupted merges or of deletions that raced a crash.
+func (e *Engine) cleanOrphans() error {
+	referenced := make(map[string]bool)
+	for _, lv := range e.levels {
+		for g := 0; g < 2; g++ {
+			for _, r := range lv.groups[g] {
+				for _, f := range run.Files(r.ID) {
+					referenced[f] = true
+				}
+			}
+		}
+	}
+	entries, err := os.ReadDir(e.opts.Dir)
+	if err != nil {
+		return err
+	}
+	for _, de := range entries {
+		name := de.Name()
+		if !strings.HasPrefix(name, "run-") {
+			continue
+		}
+		if !referenced[name] {
+			if err := os.Remove(filepath.Join(e.opts.Dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// restartMerges resumes interrupted background merges after reopen: any
+// full merging group gets its thread back.
+func (e *Engine) restartMerges() {
+	for i, lv := range e.levels {
+		mg := lv.groups[lv.merging()]
+		if len(mg) == e.opts.SizeRatio && lv.merge == nil {
+			lv.merge = e.startLevelMerge(i, mg)
+		}
+	}
+}
+
+// Height returns the last committed block height.
+func (e *Engine) Height() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.committed
+}
+
+// CheckpointHeight returns the height of the last durable checkpoint:
+// after a crash, blocks above this height must be replayed (§4.3).
+func (e *Engine) CheckpointHeight() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.checkpoint
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// LevelRunCounts returns, per on-disk level, the number of committed runs
+// (both groups), for introspection and tests.
+func (e *Engine) LevelRunCounts() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]int, len(e.levels))
+	for i, lv := range e.levels {
+		out[i] = len(lv.groups[0]) + len(lv.groups[1])
+	}
+	return out
+}
+
+// MemEntries returns the entry counts of the two L0 groups
+// (writing, merging).
+func (e *Engine) MemEntries() (int, int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mem[e.memWriting].tree.Size(), e.mem[1-e.memWriting].tree.Size()
+}
+
+// StorageBreakdown reports on-disk bytes split into value-file data and
+// index overhead (learned index + Merkle files + metadata), plus total
+// entries, for the storage experiments.
+type StorageBreakdown struct {
+	DataBytes  int64
+	IndexBytes int64
+	Entries    int64
+	Runs       int
+	Levels     int
+}
+
+// Storage walks the committed runs and sums their file sizes.
+func (e *Engine) Storage() StorageBreakdown {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var sb StorageBreakdown
+	sb.Levels = len(e.levels)
+	for _, lv := range e.levels {
+		for g := 0; g < 2; g++ {
+			for _, r := range lv.groups[g] {
+				d, i := r.SizeOnDisk()
+				sb.DataBytes += d
+				sb.IndexBytes += i
+				sb.Entries += r.Count()
+				sb.Runs++
+			}
+		}
+	}
+	return sb
+}
+
+// waitMerges joins every outstanding merge thread without committing
+// (used by Close and tests).
+func (e *Engine) waitMergesLocked() {
+	if e.memMerge != nil {
+		<-e.memMerge.done
+	}
+	for _, lv := range e.levels {
+		if lv.merge != nil {
+			<-lv.merge.done
+		}
+	}
+}
+
+func (e *Engine) closeRuns() {
+	for _, lv := range e.levels {
+		for g := 0; g < 2; g++ {
+			for _, r := range lv.groups[g] {
+				r.Close()
+			}
+		}
+	}
+}
+
+// Close joins background merges and releases file handles. In-memory L0
+// contents are *not* flushed: like the paper's crash model, they are
+// recovered by replaying blocks above CheckpointHeight. Use FlushAll first
+// for a clean shutdown that persists everything.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.waitMergesLocked()
+	// Discard uncommitted merge outputs; their files become orphans that
+	// the next Open cleans up.
+	if e.memMerge != nil && e.memMerge.newRun != nil {
+		e.memMerge.newRun.Close()
+	}
+	for _, lv := range e.levels {
+		if lv.merge != nil && lv.merge.newRun != nil {
+			lv.merge.newRun.Close()
+		}
+	}
+	e.closeRuns()
+	return nil
+}

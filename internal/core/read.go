@@ -1,0 +1,108 @@
+package core
+
+import (
+	"cole/internal/run"
+	"cole/internal/types"
+)
+
+// searchParts enumerates the engine's components in canonical search order
+// (Algorithm 6): L0 writing group, L0 merging group, then per level the
+// writing-group runs newest-first followed by the merging-group runs
+// newest-first. This is also the root_hash_list order.
+func (e *Engine) forEachMemLocked(fn func(*memGroup) bool) {
+	if !fn(e.mem[e.memWriting]) {
+		return
+	}
+	if e.opts.AsyncMerge {
+		fn(e.mem[1-e.memWriting])
+	}
+}
+
+func (e *Engine) forEachRunLocked(fn func(*run.Run) bool) {
+	for _, lv := range e.levels {
+		for _, g := range [2]int{lv.writing, lv.merging()} {
+			runs := lv.groups[g]
+			for i := len(runs) - 1; i >= 0; i-- {
+				if !fn(runs[i]) {
+					return
+				}
+			}
+			if !e.opts.AsyncMerge {
+				break
+			}
+		}
+	}
+}
+
+// Get returns the latest value of addr, searching levels newest to oldest
+// and stopping at the first hit (Algorithm 6).
+func (e *Engine) Get(addr types.Address) (types.Value, bool, error) {
+	return e.getAt(addr, types.MaxBlock)
+}
+
+// GetAt returns the value of addr active at block height blk (the newest
+// version with write height ≤ blk) along with that write height.
+func (e *Engine) GetAt(addr types.Address, blk uint64) (types.Value, uint64, bool, error) {
+	hit, ok, err := e.lookup(addr, blk)
+	if err != nil || !ok {
+		return types.Value{}, 0, false, err
+	}
+	return hit.Value, hit.Blk, true, nil
+}
+
+type versionHit struct {
+	Value types.Value
+	Blk   uint64
+}
+
+func (e *Engine) getAt(addr types.Address, blk uint64) (types.Value, bool, error) {
+	hit, ok, err := e.lookup(addr, blk)
+	if err != nil || !ok {
+		return types.Value{}, false, err
+	}
+	return hit.Value, true, nil
+}
+
+func (e *Engine) lookup(addr types.Address, blk uint64) (versionHit, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Gets++
+
+	key := types.CompoundKey{Addr: addr, Blk: blk}
+	var (
+		found bool
+		hit   versionHit
+	)
+	e.forEachMemLocked(func(g *memGroup) bool {
+		if !g.filter.MayContain(addr) {
+			return true
+		}
+		if ent, ok := g.tree.Predecessor(key); ok && ent.Key.Addr == addr {
+			hit = versionHit{Value: ent.Value, Blk: ent.Key.Blk}
+			found = true
+			return false
+		}
+		return true
+	})
+	if found {
+		return hit, true, nil
+	}
+	var searchErr error
+	e.forEachRunLocked(func(r *run.Run) bool {
+		ent, _, ok, _, err := r.GetAt(addr, blk)
+		if err != nil {
+			searchErr = err
+			return false
+		}
+		if ok {
+			hit = versionHit{Value: ent.Value, Blk: ent.Key.Blk}
+			found = true
+			return false
+		}
+		return true
+	})
+	if searchErr != nil {
+		return versionHit{}, false, searchErr
+	}
+	return hit, found, nil
+}

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"cole/internal/run"
+	"cole/internal/types"
+)
+
+// BeginBlock starts building a block at the given height, which must
+// exceed the last committed height. COLE does not support forks/rewind
+// (§4.3), so heights are monotone.
+func (e *Engine) BeginBlock(height uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.inBlock {
+		return fmt.Errorf("core: block %d still open", e.height)
+	}
+	if height <= e.committed && e.committed != 0 || (e.committed == 0 && height == 0) {
+		return fmt.Errorf("core: height %d not above committed %d (no fork support)", height, e.committed)
+	}
+	e.height = height
+	e.inBlock = true
+	return nil
+}
+
+// Put inserts a state update into the current block: the compound key
+// ⟨addr, current height⟩ is written into the L0 writing group
+// (Algorithm 1 lines 2–3 / Algorithm 5 lines 2–4).
+func (e *Engine) Put(addr types.Address, value types.Value) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.inBlock {
+		return fmt.Errorf("core: Put outside a block; call BeginBlock first")
+	}
+	g := e.mem[e.memWriting]
+	g.tree.Insert(types.CompoundKey{Addr: addr, Blk: e.height}, value)
+	g.filter.Add(addr)
+	e.stats.Puts++
+	return nil
+}
+
+// Commit finalizes the current block: it runs the flush/merge cascade if
+// the L0 writing group is full, persists the manifest when the structure
+// changed, and returns the block's state root digest Hstate.
+func (e *Engine) Commit() (types.Hash, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.inBlock {
+		return types.Hash{}, fmt.Errorf("core: Commit without BeginBlock")
+	}
+	e.inBlock = false
+	e.committed = e.height
+
+	var err error
+	if e.mem[e.memWriting].tree.Size() >= e.opts.MemCapacity {
+		if e.opts.AsyncMerge {
+			err = e.cascadeAsync()
+			// Blocks since the previous cascade live in the merging
+			// group, whose flush is still in flight: they are the ones a
+			// crash would lose.
+			e.checkpoint = e.lastCascade
+		} else {
+			err = e.cascadeSync()
+			e.checkpoint = e.committed
+		}
+		e.lastCascade = e.committed
+		if err != nil {
+			return types.Hash{}, err
+		}
+		if err := e.writeManifest(); err != nil {
+			return types.Hash{}, err
+		}
+		e.dropPending()
+	}
+	return e.rootDigestLocked(), nil
+}
+
+// RootDigest returns the current Hstate without committing.
+func (e *Engine) RootDigest() types.Hash {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rootDigestLocked()
+}
+
+// rootHashListLocked assembles root_hash_list in canonical order: the L0
+// group roots (writing then merging), then per level the writing-group run
+// digests newest-first followed by the merging-group run digests
+// newest-first. This order equals the read search order, which is what
+// lets provenance verifiers walk proof parts and digests in lockstep.
+func (e *Engine) rootHashListLocked() []types.Hash {
+	list := []types.Hash{e.mem[e.memWriting].tree.RootHash()}
+	if e.opts.AsyncMerge {
+		list = append(list, e.mem[1-e.memWriting].tree.RootHash())
+	}
+	for _, lv := range e.levels {
+		for _, g := range [2]int{lv.writing, lv.merging()} {
+			runs := lv.groups[g]
+			for i := len(runs) - 1; i >= 0; i-- {
+				list = append(list, runs[i].Digest())
+			}
+			if !e.opts.AsyncMerge {
+				break // sync mode uses a single group per level
+			}
+		}
+	}
+	return list
+}
+
+func (e *Engine) rootDigestLocked() types.Hash {
+	return types.HashConcat(e.rootHashListLocked()...)
+}
+
+// ensureLevel extends the level list so that levels[i] exists.
+func (e *Engine) ensureLevel(i int) *level {
+	for len(e.levels) <= i {
+		e.levels = append(e.levels, &level{})
+	}
+	return e.levels[i]
+}
+
+// collectTree snapshots an MB-tree's entries in key order.
+func collectTree(g *memGroup) []types.Entry {
+	out := make([]types.Entry, 0, g.tree.Size())
+	_ = g.tree.ForEach(func(e types.Entry) error {
+		out = append(out, e)
+		return nil
+	})
+	return out
+}
+
+// cascadeSync is Algorithm 1: flush L0 into L1, then merge every full
+// level into the next, inline.
+func (e *Engine) cascadeSync() error {
+	g := e.mem[e.memWriting]
+	entries := collectTree(g)
+	id := e.nextRunID
+	e.nextRunID++
+	r, err := run.Build(e.opts.Dir, id, int64(len(entries)), e.opts.runParams(), run.NewSliceIterator(entries))
+	if err != nil {
+		return fmt.Errorf("core: flush L0: %w", err)
+	}
+	fresh, err := newMemGroup(e.opts)
+	if err != nil {
+		return err
+	}
+	e.mem[e.memWriting] = fresh
+	e.ensureLevel(0).groups[0] = append(e.levels[0].groups[0], r)
+	e.stats.Flushes++
+
+	for i := 0; i < len(e.levels); i++ {
+		lv := e.levels[i]
+		if len(lv.groups[0]) < e.opts.SizeRatio {
+			break
+		}
+		merged, err := e.buildMergedRun(lv.groups[0])
+		if err != nil {
+			return err
+		}
+		e.pending = append(e.pending, lv.groups[0]...)
+		lv.groups[0] = nil
+		e.ensureLevel(i + 1).groups[0] = append(e.levels[i+1].groups[0], merged)
+		e.stats.Merges++
+	}
+	return nil
+}
+
+// cascadeAsync is Algorithm 5: per-level commit checkpoints that join the
+// previous merge thread, publish its output run, swap group roles, and
+// start the next merge in the background.
+func (e *Engine) cascadeAsync() error {
+	// Checkpoint at L0 (lines 6–20 with i = 0).
+	if e.memMerge != nil {
+		if err := e.commitMerge(e.memMerge, 0); err != nil {
+			return err
+		}
+		e.memMerge = nil
+		// The merging group's tree contents are now durable in L1.
+		fresh, err := newMemGroup(e.opts)
+		if err != nil {
+			return err
+		}
+		e.mem[1-e.memWriting] = fresh
+	}
+	// Switch roles: the full writing group becomes the merging group.
+	e.memWriting = 1 - e.memWriting
+	mg := e.mem[1-e.memWriting]
+	// Warm the hash cache so the flush goroutine only ever reads the tree.
+	mg.tree.RootHash()
+	e.memMerge = e.startMemFlush(mg)
+	e.stats.Flushes++
+
+	// Level checkpoints.
+	for i := 0; i < len(e.levels); i++ {
+		lv := e.levels[i]
+		if len(lv.groups[lv.writing]) < e.opts.SizeRatio {
+			break
+		}
+		if lv.merge != nil {
+			if err := e.commitMerge(lv.merge, i+1); err != nil {
+				return err
+			}
+			lv.merge = nil
+			e.pending = append(e.pending, lv.groups[lv.merging()]...)
+			lv.groups[lv.merging()] = nil
+		}
+		lv.writing = lv.merging()
+		mgRuns := lv.groups[lv.merging()]
+		lv.merge = e.startLevelMerge(i, mgRuns)
+		e.stats.Merges++
+	}
+	return nil
+}
+
+// commitMerge joins a merge thread and publishes its run into the writing
+// group of the destination level (the commit checkpoint of §5).
+func (e *Engine) commitMerge(ms *mergeState, destLevel int) error {
+	select {
+	case <-ms.done:
+	default:
+		// Slow node: the interval between start and commit checkpoints was
+		// not enough; block until the merge finishes (Algorithm 5 line 9).
+		e.stats.MergeWaits++
+		<-ms.done
+	}
+	if ms.err != nil {
+		return fmt.Errorf("core: background merge failed: %w", ms.err)
+	}
+	lv := e.ensureLevel(destLevel)
+	lv.groups[lv.writing] = append(lv.groups[lv.writing], ms.newRun)
+	return nil
+}
+
+// startMemFlush launches the L0 flush goroutine: it snapshots the merging
+// group's tree and builds a new L1 run. The run id is assigned here, under
+// the engine lock, so ids are deterministic.
+func (e *Engine) startMemFlush(g *memGroup) *mergeState {
+	id := e.nextRunID
+	e.nextRunID++
+	ms := &mergeState{done: make(chan struct{})}
+	go func() {
+		defer close(ms.done)
+		entries := collectTree(g)
+		r, err := run.Build(e.opts.Dir, id, int64(len(entries)), e.opts.runParams(), run.NewSliceIterator(entries))
+		if err != nil {
+			ms.err = err
+			return
+		}
+		ms.newRun = r
+	}()
+	return ms
+}
+
+// startLevelMerge launches the sort-merge of a level's merging group into
+// a run destined for the next level.
+func (e *Engine) startLevelMerge(levelIdx int, runs []*run.Run) *mergeState {
+	id := e.nextRunID
+	e.nextRunID++
+	var count int64
+	for _, r := range runs {
+		count += r.Count()
+	}
+	ms := &mergeState{done: make(chan struct{})}
+	go func() {
+		defer close(ms.done)
+		it := newKWayIterator(runs)
+		r, err := run.Build(e.opts.Dir, id, count, e.opts.runParams(), it)
+		if err != nil {
+			ms.err = err
+			return
+		}
+		if err := it.Err(); err != nil {
+			ms.err = err
+			return
+		}
+		ms.newRun = r
+	}()
+	return ms
+}
+
+// buildMergedRun sort-merges a group of runs synchronously (Algorithm 1
+// lines 8–11).
+func (e *Engine) buildMergedRun(runs []*run.Run) (*run.Run, error) {
+	id := e.nextRunID
+	e.nextRunID++
+	var count int64
+	for _, r := range runs {
+		count += r.Count()
+	}
+	it := newKWayIterator(runs)
+	merged, err := run.Build(e.opts.Dir, id, count, e.opts.runParams(), it)
+	if err != nil {
+		return nil, fmt.Errorf("core: level merge: %w", err)
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+// FlushAll forces the L0 contents to disk and joins all merge threads,
+// committing their outputs: a clean shutdown helper (the paper's crash
+// model instead replays blocks above the checkpoint). The resulting run
+// sizes may be smaller than B, which only affects level occupancy, never
+// correctness.
+func (e *Engine) FlushAll() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.inBlock {
+		return fmt.Errorf("core: FlushAll inside an open block")
+	}
+	// Join and commit async threads first so groups are quiescent.
+	if e.memMerge != nil {
+		if err := e.commitMerge(e.memMerge, 0); err != nil {
+			return err
+		}
+		e.memMerge = nil
+		fresh, err := newMemGroup(e.opts)
+		if err != nil {
+			return err
+		}
+		e.mem[1-e.memWriting] = fresh
+	}
+	for i := 0; i < len(e.levels); i++ {
+		lv := e.levels[i]
+		if lv.merge != nil {
+			if err := e.commitMerge(lv.merge, i+1); err != nil {
+				return err
+			}
+			lv.merge = nil
+			e.pending = append(e.pending, lv.groups[lv.merging()]...)
+			lv.groups[lv.merging()] = nil
+		}
+	}
+	// Flush any remaining L0 entries (both groups) as a final run.
+	for _, gi := range []int{e.memWriting, 1 - e.memWriting} {
+		g := e.mem[gi]
+		if g.tree.Size() == 0 {
+			continue
+		}
+		entries := collectTree(g)
+		id := e.nextRunID
+		e.nextRunID++
+		r, err := run.Build(e.opts.Dir, id, int64(len(entries)), e.opts.runParams(), run.NewSliceIterator(entries))
+		if err != nil {
+			return err
+		}
+		lv := e.ensureLevel(0)
+		lv.groups[lv.writing] = append(lv.groups[lv.writing], r)
+		fresh, err := newMemGroup(e.opts)
+		if err != nil {
+			return err
+		}
+		e.mem[gi] = fresh
+		e.stats.Flushes++
+	}
+	e.checkpoint = e.committed
+	e.lastCascade = e.committed
+	if err := e.writeManifest(); err != nil {
+		return err
+	}
+	e.dropPending()
+	return nil
+}
+
+// kwayIterator merges sorted run iterators; keys are globally unique
+// (every ⟨addr, blk⟩ is written in exactly one block), so no dedup is
+// needed — a duplicate would indicate corruption and fails the merge via
+// the PLA builder's strict-monotonicity check downstream.
+type kwayIterator struct {
+	h   mergeHeap
+	err error
+}
+
+type mergeCursor struct {
+	it  *run.RunIterator
+	cur types.Entry
+}
+
+type mergeHeap []*mergeCursor
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].cur.Key.Less(h[j].cur.Key) }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*mergeCursor)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func newKWayIterator(runs []*run.Run) *kwayIterator {
+	k := &kwayIterator{}
+	for _, r := range runs {
+		it := r.Iter()
+		if e, ok := it.Next(); ok {
+			k.h = append(k.h, &mergeCursor{it: it, cur: e})
+		} else if err := it.Err(); err != nil {
+			k.err = err
+		}
+	}
+	heap.Init(&k.h)
+	return k
+}
+
+// Next implements run.Iterator.
+func (k *kwayIterator) Next() (types.Entry, bool) {
+	if k.err != nil || k.h.Len() == 0 {
+		return types.Entry{}, false
+	}
+	top := k.h[0]
+	out := top.cur
+	if e, ok := top.it.Next(); ok {
+		top.cur = e
+		heap.Fix(&k.h, 0)
+	} else {
+		if err := top.it.Err(); err != nil {
+			k.err = err
+			return types.Entry{}, false
+		}
+		heap.Pop(&k.h)
+	}
+	return out, true
+}
+
+// Err reports a read failure from any source run.
+func (k *kwayIterator) Err() error { return k.err }

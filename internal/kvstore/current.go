@@ -1,0 +1,119 @@
+package kvstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// currentState is the durable table layout, written atomically after every
+// flush/compaction. Tables not referenced by it are garbage from
+// interrupted operations and are removed on open.
+type currentState struct {
+	NextID uint64     `json:"next_id"`
+	Levels [][]uint64 `json:"levels"`
+}
+
+func (db *DB) currentPath() string { return filepath.Join(db.opts.Dir, "CURRENT") }
+
+func (db *DB) writeCurrentLocked() error {
+	st := currentState{NextID: db.nextID}
+	for _, lvl := range db.levels {
+		ids := []uint64{}
+		for _, t := range lvl {
+			ids = append(ids, t.id)
+		}
+		st.Levels = append(st.Levels, ids)
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	tmp := db.currentPath() + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, db.currentPath()); err != nil {
+		return err
+	}
+	// Superseded tables are safe to unlink now.
+	for _, t := range db.purge {
+		t.remove()
+	}
+	db.purge = nil
+	return nil
+}
+
+func (db *DB) loadCurrent() error {
+	raw, err := os.ReadFile(db.currentPath())
+	if os.IsNotExist(err) {
+		return db.cleanStrays(map[uint64]bool{})
+	}
+	if err != nil {
+		return err
+	}
+	var st currentState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return err
+	}
+	db.nextID = st.NextID
+	live := map[uint64]bool{}
+	for _, ids := range st.Levels {
+		var lvl []*sstable
+		for _, id := range ids {
+			t, err := openTable(db.opts.Dir, id)
+			if err != nil {
+				return err
+			}
+			lvl = append(lvl, t)
+			live[id] = true
+		}
+		db.levels = append(db.levels, lvl)
+	}
+	return db.cleanStrays(live)
+}
+
+// cleanStrays removes sstable files not referenced by CURRENT.
+func (db *DB) cleanStrays(live map[uint64]bool) error {
+	entries, err := os.ReadDir(db.opts.Dir)
+	if err != nil {
+		return err
+	}
+	for _, de := range entries {
+		name := de.Name()
+		if !strings.HasPrefix(name, "sst-") {
+			continue
+		}
+		var id uint64
+		ok := false
+		if strings.HasSuffix(name, ".kv") {
+			if _, err := fmtSscanHex(name[4:len(name)-3], &id); err == nil {
+				ok = true
+			}
+		}
+		if !ok || !live[id] {
+			if err := os.Remove(filepath.Join(db.opts.Dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fmtSscanHex parses a 16-digit hex id.
+func fmtSscanHex(s string, out *uint64) (int, error) {
+	var v uint64
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9':
+			v = v<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			v = v<<4 | uint64(c-'a'+10)
+		default:
+			return 0, os.ErrInvalid
+		}
+	}
+	*out = v
+	return 1, nil
+}

@@ -1,0 +1,308 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func openDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestPutGetBasic(t *testing.T) {
+	db := openDB(t, Options{})
+	if err := db.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Get([]byte("k1"))
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("get: %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := db.Get([]byte("nope")); ok {
+		t.Fatal("absent key must miss")
+	}
+}
+
+func TestOverwriteAndDelete(t *testing.T) {
+	db := openDB(t, Options{})
+	key := []byte("k")
+	_ = db.Put(key, []byte("a"))
+	_ = db.Put(key, []byte("b"))
+	v, ok, _ := db.Get(key)
+	if !ok || string(v) != "b" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+	if err := db.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := db.Get(key); ok {
+		t.Fatal("deleted key must miss")
+	}
+	// Deletion must survive a flush (tombstone path).
+	_ = db.Put([]byte("other"), []byte("x"))
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := db.Get(key); ok {
+		t.Fatal("tombstone lost at flush")
+	}
+}
+
+func TestFlushAndReadBack(t *testing.T) {
+	db := openDB(t, Options{MemBytes: 1 << 10}) // tiny buffer → many tables
+	ref := map[string]string{}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("key-%05d", r.Intn(800))
+		v := fmt.Sprintf("val-%d", r.Int63())
+		_ = db.Put([]byte(k), []byte(v))
+		ref[k] = v
+	}
+	for k, want := range ref {
+		v, ok, err := db.Get([]byte(k))
+		if err != nil || !ok || string(v) != want {
+			t.Fatalf("key %s: got %q ok=%v err=%v", k, v, ok, err)
+		}
+	}
+	if db.Stats().Flushes == 0 {
+		t.Fatal("tiny buffer must have flushed")
+	}
+	if db.Stats().Compactions == 0 {
+		t.Fatal("expected compactions with many flushes")
+	}
+}
+
+func TestValuesAreCopied(t *testing.T) {
+	db := openDB(t, Options{})
+	v := []byte("mutable")
+	_ = db.Put([]byte("k"), v)
+	v[0] = 'X'
+	got, _, _ := db.Get([]byte("k"))
+	if string(got) != "mutable" {
+		t.Fatal("stored value must not alias caller memory")
+	}
+	got[0] = 'Y'
+	again, _, _ := db.Get([]byte("k"))
+	if string(again) != "mutable" {
+		t.Fatal("returned value must not alias internal memory")
+	}
+}
+
+func TestEmptyValue(t *testing.T) {
+	db := openDB(t, Options{})
+	_ = db.Put([]byte("k"), []byte{})
+	v, ok, _ := db.Get([]byte("k"))
+	if !ok || len(v) != 0 {
+		t.Fatalf("empty value lost: %q ok=%v", v, ok)
+	}
+	_ = db.Put([]byte("k2"), nil)
+	if _, ok, _ := db.Get([]byte("k2")); !ok {
+		t.Fatal("nil value must store as empty, not tombstone")
+	}
+}
+
+func TestReopenPersists(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir, MemBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := map[string]string{}
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		v := fmt.Sprintf("v%d", i*i)
+		_ = db.Put([]byte(k), []byte(v))
+		ref[k] = v
+	}
+	_ = db.Delete([]byte("k0042"))
+	delete(ref, "k0042")
+	if err := db.Close(); err != nil { // Close flushes
+		t.Fatal(err)
+	}
+	db2, err := Open(Options{Dir: dir, MemBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for k, want := range ref {
+		v, ok, err := db2.Get([]byte(k))
+		if err != nil || !ok || string(v) != want {
+			t.Fatalf("after reopen %s: %q ok=%v err=%v", k, v, ok, err)
+		}
+	}
+	if _, ok, _ := db2.Get([]byte("k0042")); ok {
+		t.Fatal("deletion lost across reopen")
+	}
+}
+
+func TestStrayTablesCleaned(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := Open(Options{Dir: dir})
+	_ = db.Put([]byte("a"), []byte("b"))
+	db.Close()
+	// Drop a stray table file.
+	stray := tablePath(dir, 0xdeadbeef)
+	if err := writeJunk(stray); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if v, ok, _ := db2.Get([]byte("a")); !ok || string(v) != "b" {
+		t.Fatal("data lost after stray cleanup")
+	}
+}
+
+func writeJunk(path string) error {
+	return writeFileHelper(path, []byte("junk"))
+}
+
+func TestSizeOnDiskGrows(t *testing.T) {
+	db := openDB(t, Options{MemBytes: 1 << 10})
+	if db.SizeOnDisk() != 0 {
+		t.Fatal("fresh DB must be empty")
+	}
+	for i := 0; i < 500; i++ {
+		_ = db.Put([]byte(fmt.Sprintf("key-%d", i)), bytes.Repeat([]byte{1}, 100))
+	}
+	_ = db.Flush()
+	if db.SizeOnDisk() < 500*100 {
+		t.Fatalf("disk size %d implausibly small", db.SizeOnDisk())
+	}
+}
+
+func TestTieredLevelsShape(t *testing.T) {
+	db := openDB(t, Options{MemBytes: 512, SizeRatio: 2})
+	for i := 0; i < 4000; i++ {
+		_ = db.Put([]byte(fmt.Sprintf("k%06d", i)), []byte("0123456789abcdef"))
+	}
+	_ = db.Flush()
+	db.mu.Lock()
+	nLevels := len(db.levels)
+	for i, lvl := range db.levels {
+		if len(lvl) > db.opts.SizeRatio {
+			t.Fatalf("level %d has %d tables > T", i, len(lvl))
+		}
+	}
+	db.mu.Unlock()
+	if nLevels < 2 {
+		t.Fatalf("expected tiered levels, got %d", nLevels)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("missing dir must fail")
+	}
+	if _, err := Open(Options{Dir: t.TempDir(), SizeRatio: 1}); err == nil {
+		t.Fatal("size ratio 1 must fail")
+	}
+}
+
+func TestClosedDBRejectsWrites(t *testing.T) {
+	db, _ := Open(Options{Dir: t.TempDir()})
+	db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); err == nil {
+		t.Fatal("put on closed DB must fail")
+	}
+	if err := db.Delete([]byte("k")); err == nil {
+		t.Fatal("delete on closed DB must fail")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+}
+
+func TestRandomOpsAgainstMap(t *testing.T) {
+	db := openDB(t, Options{MemBytes: 2 << 10, SizeRatio: 2})
+	ref := map[string][]byte{}
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 20000; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", r.Intn(500)))
+		switch r.Intn(10) {
+		case 0:
+			_ = db.Delete(k)
+			delete(ref, string(k))
+		default:
+			v := []byte(fmt.Sprintf("val-%d", r.Int63()))
+			_ = db.Put(k, v)
+			ref[string(k)] = v
+		}
+		if i%2000 == 0 {
+			// Periodic full validation.
+			for ks, want := range ref {
+				v, ok, err := db.Get([]byte(ks))
+				if err != nil || !ok || !bytes.Equal(v, want) {
+					t.Fatalf("iter %d key %s: %q ok=%v err=%v want %q", i, ks, v, ok, err, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickPropertySmall(t *testing.T) {
+	f := func(keys [][]byte, vals [][]byte) bool {
+		db, err := Open(Options{Dir: t.TempDir(), MemBytes: 256, SizeRatio: 2})
+		if err != nil {
+			return false
+		}
+		defer db.Close()
+		ref := map[string][]byte{}
+		for i, k := range keys {
+			if len(k) == 0 {
+				continue
+			}
+			v := []byte("x")
+			if i < len(vals) {
+				v = vals[i]
+			}
+			if v == nil {
+				v = []byte{}
+			}
+			if err := db.Put(k, v); err != nil {
+				return false
+			}
+			ref[string(k)] = v
+		}
+		for ks, want := range ref {
+			v, ok, err := db.Get([]byte(ks))
+			if err != nil || !ok || !bytes.Equal(v, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	db := openDB(t, Options{MemBytes: 1 << 10})
+	for i := 0; i < 500; i++ {
+		_ = db.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	_, _, _ = db.Get([]byte("k1"))
+	st := db.Stats()
+	if st.Puts != 500 || st.Gets != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func writeFileHelper(path string, data []byte) error {
+	return osWriteFile(path, data)
+}

@@ -1,0 +1,147 @@
+package lipp
+
+import (
+	"math/rand"
+	"testing"
+
+	"cole/internal/kvstore"
+	"cole/internal/types"
+)
+
+func newTree(t *testing.T) (*Tree, *kvstore.DB) {
+	t.Helper()
+	db, err := kvstore.Open(kvstore.Options{Dir: t.TempDir(), MemBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return New(db), db
+}
+
+func TestEmpty(t *testing.T) {
+	tr, _ := newTree(t)
+	if tr.Root() != types.ZeroHash || tr.Count() != 0 {
+		t.Fatal("fresh tree must be empty")
+	}
+	if _, ok, err := tr.Get(types.AddressFromUint64(1)); ok || err != nil {
+		t.Fatalf("empty get: %v %v", ok, err)
+	}
+}
+
+func TestPutGetAgainstMap(t *testing.T) {
+	tr, _ := newTree(t)
+	ref := map[types.Address]types.Value{}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		a := types.AddressFromUint64(r.Uint64() % 700)
+		v := types.ValueFromUint64(r.Uint64())
+		if err := tr.Put(a, v); err != nil {
+			t.Fatal(err)
+		}
+		ref[a] = v
+	}
+	if tr.Count() != len(ref) {
+		t.Fatalf("count %d, want %d", tr.Count(), len(ref))
+	}
+	for a, want := range ref {
+		got, ok, err := tr.Get(a)
+		if err != nil || !ok || got != want {
+			t.Fatalf("get(%v): %v ok=%v err=%v", a, got, ok, err)
+		}
+	}
+	if _, ok, _ := tr.Get(types.AddressFromUint64(9999)); ok {
+		t.Fatal("absent address must miss")
+	}
+	if tr.Stats().Rebuilds == 0 {
+		t.Fatal("expected root rebuilds at this scale")
+	}
+}
+
+func TestHistoricalRootsTraversable(t *testing.T) {
+	tr, _ := newTree(t)
+	a := types.AddressFromUint64(5)
+	var roots []types.Hash
+	for i := uint64(1); i <= 40; i++ {
+		if err := tr.Put(a, types.ValueFromUint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Put(types.AddressFromUint64(100+i), types.ValueFromUint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		roots = append(roots, tr.Root())
+	}
+	for i, root := range roots {
+		v, ok, err := tr.GetAtRoot(root, a)
+		if err != nil || !ok || v.Uint64() != uint64(i+1) {
+			t.Fatalf("root %d: got %d ok=%v err=%v", i, v.Uint64(), ok, err)
+		}
+	}
+}
+
+func TestStorageBlowsUpVsUpdates(t *testing.T) {
+	// The pathology the paper measures: persisted node copies make LIPP
+	// storage grow far faster than the underlying data (5–31× MPT).
+	tr, db := newTree(t)
+	for i := uint64(0); i < 500; i++ {
+		if err := tr.Put(types.AddressFromUint64(i%50), types.ValueFromUint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dataBytes := int64(50 * (types.AddressSize + types.ValueSize))
+	if db.SizeOnDisk() < dataBytes*20 {
+		t.Fatalf("LIPP storage %d should dwarf data size %d", db.SizeOnDisk(), dataBytes)
+	}
+}
+
+func TestCollidingFloatKeys(t *testing.T) {
+	// Addresses whose float64 projections coincide exercise the
+	// degenerate sequential node path.
+	tr, _ := newTree(t)
+	var a1, a2 types.Address
+	a1[0] = 0x80
+	a2 = a1
+	a2[19] = 1 // differs only in the lowest byte → same float64
+	if err := tr.Put(a1, types.ValueFromUint64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put(a2, types.ValueFromUint64(2)); err != nil {
+		t.Fatal(err)
+	}
+	v1, ok1, _ := tr.Get(a1)
+	v2, ok2, _ := tr.Get(a2)
+	if !ok1 || !ok2 || v1.Uint64() != 1 || v2.Uint64() != 2 {
+		t.Fatalf("colliding keys lost: %v/%v %v/%v", v1, ok1, v2, ok2)
+	}
+}
+
+func TestOverwriteKeepsCount(t *testing.T) {
+	tr, _ := newTree(t)
+	a := types.AddressFromUint64(1)
+	_ = tr.Put(a, types.ValueFromUint64(1))
+	_ = tr.Put(a, types.ValueFromUint64(2))
+	if tr.Count() != 1 {
+		t.Fatalf("count %d after overwrite", tr.Count())
+	}
+	v, _, _ := tr.Get(a)
+	if v.Uint64() != 2 {
+		t.Fatal("overwrite lost")
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	if _, err := decode(nil); err == nil {
+		t.Fatal("nil must fail")
+	}
+	if _, err := decode(make([]byte, 10)); err == nil {
+		t.Fatal("short must fail")
+	}
+	n := &node{kmin: 0, slope: 1, slots: make([]slot, 4)}
+	raw := encode(n)
+	raw[16] = 0xFF // absurd slot count
+	if _, err := decode(raw); err == nil {
+		t.Fatal("corrupt count must fail")
+	}
+}

@@ -1,0 +1,361 @@
+// Package mbtree implements the Merkle B+-tree used for COLE's in-memory
+// level L0 (paper §3.2, citing Li et al. [29]).
+//
+// The tree stores compound key-value pairs sorted by key. Every node is
+// augmented with a digest: a leaf hashes its entry list, an internal node
+// hashes the (minKey, childHash) sequence of its children. Including the
+// separator keys in the digest is what lets range-proof verifiers confirm
+// that pruned subtrees cannot contain in-range keys (completeness).
+//
+// L0 is flushed wholesale once it holds B entries, so the tree supports
+// insert/overwrite, point and predecessor lookups, ordered scans, and
+// authenticated range queries — but no deletion (COLE never deletes;
+// obsolete versions are superseded by newer compound keys).
+package mbtree
+
+import (
+	"fmt"
+
+	"cole/internal/types"
+)
+
+// DefaultFanout is the maximum number of children (internal) or entries
+// (leaf) per node.
+const DefaultFanout = 16
+
+const (
+	leafHashTag     = 0x00
+	internalHashTag = 0x01
+)
+
+// Tree is an in-memory Merkle B+-tree.
+type Tree struct {
+	root   node
+	fanout int
+	size   int
+}
+
+type node interface {
+	minKey() types.CompoundKey
+	digest() types.Hash
+	markDirty()
+}
+
+type leafNode struct {
+	entries []types.Entry
+	hash    types.Hash
+	dirty   bool
+}
+
+type internalNode struct {
+	mins     []types.CompoundKey
+	children []node
+	hash     types.Hash
+	dirty    bool
+}
+
+// New creates an empty tree with the given fanout (≥ 3; DefaultFanout if 0).
+func New(fanout int) (*Tree, error) {
+	if fanout == 0 {
+		fanout = DefaultFanout
+	}
+	if fanout < 3 {
+		return nil, fmt.Errorf("mbtree: fanout %d < 3", fanout)
+	}
+	return &Tree{fanout: fanout}, nil
+}
+
+// Size returns the number of entries.
+func (t *Tree) Size() int { return t.size }
+
+// Insert adds an entry, overwriting the value if the compound key exists
+// (the last write of an address within a block wins).
+func (t *Tree) Insert(key types.CompoundKey, value types.Value) {
+	e := types.Entry{Key: key, Value: value}
+	if t.root == nil {
+		t.root = &leafNode{entries: []types.Entry{e}, dirty: true}
+		t.size = 1
+		return
+	}
+	replaced, right := t.insert(t.root, e)
+	if !replaced {
+		t.size++
+	}
+	if right != nil {
+		t.root = &internalNode{
+			mins:     []types.CompoundKey{t.root.minKey(), right.minKey()},
+			children: []node{t.root, right},
+			dirty:    true,
+		}
+	}
+}
+
+// insert returns whether an existing key was replaced, and a new right
+// sibling if n split.
+func (t *Tree) insert(n node, e types.Entry) (replaced bool, right node) {
+	switch nd := n.(type) {
+	case *leafNode:
+		nd.dirty = true
+		idx, found := searchEntries(nd.entries, e.Key)
+		if found {
+			nd.entries[idx] = e
+			return true, nil
+		}
+		nd.entries = append(nd.entries, types.Entry{})
+		copy(nd.entries[idx+1:], nd.entries[idx:])
+		nd.entries[idx] = e
+		if len(nd.entries) <= t.fanout {
+			return false, nil
+		}
+		mid := len(nd.entries) / 2
+		sib := &leafNode{entries: append([]types.Entry(nil), nd.entries[mid:]...), dirty: true}
+		nd.entries = nd.entries[:mid]
+		return false, sib
+	case *internalNode:
+		nd.dirty = true
+		ci := childIndex(nd.mins, e.Key)
+		replaced, newChild := t.insert(nd.children[ci], e)
+		nd.mins[ci] = nd.children[ci].minKey()
+		if newChild != nil {
+			nd.mins = append(nd.mins, types.CompoundKey{})
+			nd.children = append(nd.children, nil)
+			copy(nd.mins[ci+2:], nd.mins[ci+1:])
+			copy(nd.children[ci+2:], nd.children[ci+1:])
+			nd.mins[ci+1] = newChild.minKey()
+			nd.children[ci+1] = newChild
+		}
+		if len(nd.children) <= t.fanout {
+			return replaced, nil
+		}
+		mid := len(nd.children) / 2
+		sib := &internalNode{
+			mins:     append([]types.CompoundKey(nil), nd.mins[mid:]...),
+			children: append([]node(nil), nd.children[mid:]...),
+			dirty:    true,
+		}
+		nd.mins = nd.mins[:mid]
+		nd.children = nd.children[:mid]
+		return replaced, sib
+	}
+	panic("mbtree: unknown node type")
+}
+
+// searchEntries returns the insertion index for key and whether it exists.
+func searchEntries(entries []types.Entry, key types.CompoundKey) (int, bool) {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if entries[mid].Key.Less(key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(entries) && entries[lo].Key == key {
+		return lo, true
+	}
+	return lo, false
+}
+
+// childIndex picks the child whose interval contains key: the rightmost
+// child with min ≤ key (child 0 if key precedes every min).
+func childIndex(mins []types.CompoundKey, key types.CompoundKey) int {
+	lo, hi := 0, len(mins)-1
+	idx := 0
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if mins[mid].Cmp(key) <= 0 {
+			idx = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return idx
+}
+
+// Get returns the value stored at exactly key.
+func (t *Tree) Get(key types.CompoundKey) (types.Value, bool) {
+	n := t.root
+	for n != nil {
+		switch nd := n.(type) {
+		case *leafNode:
+			idx, found := searchEntries(nd.entries, key)
+			if !found {
+				return types.Value{}, false
+			}
+			return nd.entries[idx].Value, true
+		case *internalNode:
+			n = nd.children[childIndex(nd.mins, key)]
+		}
+	}
+	return types.Value{}, false
+}
+
+// Predecessor returns the entry with the largest key ≤ key (the L0 search
+// of Algorithm 6: Kq = ⟨addr, max_int⟩ finds the freshest version).
+func (t *Tree) Predecessor(key types.CompoundKey) (types.Entry, bool) {
+	var best types.Entry
+	found := false
+	n := t.root
+	for n != nil {
+		switch nd := n.(type) {
+		case *leafNode:
+			idx, exact := searchEntries(nd.entries, key)
+			if exact {
+				return nd.entries[idx], true
+			}
+			if idx > 0 {
+				return nd.entries[idx-1], true
+			}
+			return best, found
+		case *internalNode:
+			ci := childIndex(nd.mins, key)
+			// Entries smaller than this child's subtree live to the left;
+			// remember the rightmost one seen so far in case the chosen
+			// subtree has no key ≤ key (possible only for ci = 0).
+			if ci > 0 {
+				if e, ok := maxEntry(nd.children[ci-1]); ok {
+					best, found = e, true
+				}
+			}
+			n = nd.children[ci]
+		}
+	}
+	return best, found
+}
+
+func maxEntry(n node) (types.Entry, bool) {
+	for {
+		switch nd := n.(type) {
+		case *leafNode:
+			if len(nd.entries) == 0 {
+				return types.Entry{}, false
+			}
+			return nd.entries[len(nd.entries)-1], true
+		case *internalNode:
+			n = nd.children[len(nd.children)-1]
+		}
+	}
+}
+
+// Range returns all entries with lo ≤ key ≤ hi, in order.
+func (t *Tree) Range(lo, hi types.CompoundKey) []types.Entry {
+	var out []types.Entry
+	t.ForEach(func(e types.Entry) error {
+		if e.Key.Cmp(lo) >= 0 && e.Key.Cmp(hi) <= 0 {
+			out = append(out, e)
+		}
+		return nil
+	})
+	return out
+}
+
+// ForEach visits every entry in key order (used to flush L0 as a sorted
+// run); stopping early is signalled by returning a non-nil error.
+func (t *Tree) ForEach(fn func(types.Entry) error) error {
+	return forEach(t.root, fn)
+}
+
+func forEach(n node, fn func(types.Entry) error) error {
+	switch nd := n.(type) {
+	case nil:
+		return nil
+	case *leafNode:
+		for _, e := range nd.entries {
+			if err := fn(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *internalNode:
+		for _, c := range nd.children {
+			if err := forEach(c, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	panic("mbtree: unknown node type")
+}
+
+// RootHash returns the Merkle digest of the tree (ZeroHash when empty),
+// recomputing only dirty nodes.
+func (t *Tree) RootHash() types.Hash {
+	if t.root == nil {
+		return types.ZeroHash
+	}
+	return t.root.digest()
+}
+
+func (n *leafNode) minKey() types.CompoundKey {
+	if len(n.entries) == 0 {
+		return types.CompoundKey{}
+	}
+	return n.entries[0].Key
+}
+
+func (n *leafNode) markDirty() { n.dirty = true }
+
+func (n *leafNode) digest() types.Hash {
+	if !n.dirty {
+		return n.hash
+	}
+	buf := make([]byte, 1+len(n.entries)*types.EntrySize)
+	buf[0] = leafHashTag
+	for i, e := range n.entries {
+		types.EncodeEntry(buf[1+i*types.EntrySize:], e)
+	}
+	n.hash = types.HashData(buf)
+	n.dirty = false
+	return n.hash
+}
+
+func (n *internalNode) minKey() types.CompoundKey { return n.mins[0] }
+
+func (n *internalNode) markDirty() { n.dirty = true }
+
+func (n *internalNode) digest() types.Hash {
+	if !n.dirty {
+		return n.hash
+	}
+	buf := make([]byte, 1+len(n.children)*(types.CompoundKeySize+types.HashSize))
+	buf[0] = internalHashTag
+	off := 1
+	for i, c := range n.children {
+		n.mins[i].PutBytes(buf[off:])
+		off += types.CompoundKeySize
+		h := c.digest()
+		copy(buf[off:], h[:])
+		off += types.HashSize
+	}
+	n.hash = types.HashData(buf)
+	n.dirty = false
+	return n.hash
+}
+
+// LeafHash recomputes the digest of a revealed leaf entry list (used by
+// proof verification).
+func LeafHash(entries []types.Entry) types.Hash {
+	buf := make([]byte, 1+len(entries)*types.EntrySize)
+	buf[0] = leafHashTag
+	for i, e := range entries {
+		types.EncodeEntry(buf[1+i*types.EntrySize:], e)
+	}
+	return types.HashData(buf)
+}
+
+// InternalHash recomputes the digest of an internal node from its
+// children's (minKey, hash) pairs (used by proof verification).
+func InternalHash(mins []types.CompoundKey, hashes []types.Hash) types.Hash {
+	buf := make([]byte, 1+len(hashes)*(types.CompoundKeySize+types.HashSize))
+	buf[0] = internalHashTag
+	off := 1
+	for i := range hashes {
+		mins[i].PutBytes(buf[off:])
+		off += types.CompoundKeySize
+		copy(buf[off:], hashes[i][:])
+		off += types.HashSize
+	}
+	return types.HashData(buf)
+}

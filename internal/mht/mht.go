@@ -1,0 +1,407 @@
+// Package mht implements COLE's m-ary complete Merkle Hash Trees (§4.2).
+//
+// Each on-disk run stores a Merkle file: the bottom layer holds
+// h(K_i ‖ value_i) for every entry of the value file (same position), and
+// each upper layer hashes groups of m children, the last group possibly
+// shorter (Definition 2). Construction is streaming and layer-concurrent
+// (Algorithm 4): one buffer per layer, flushed to the file at precomputed
+// layer offsets, so a run's Merkle file is produced in a single pass over
+// the sorted entries with O(m·log_m n) memory.
+//
+// Range proofs authenticate a contiguous span of positions [lo, hi]: per
+// layer, the proof carries the sibling hashes flanking the span inside its
+// boundary groups; verification recomputes the root. Because value file and
+// Merkle file share positions, a provenance scan's results are proven by
+// the positions of its first and last entries (§6.2).
+package mht
+
+import (
+	"fmt"
+	"os"
+
+	"cole/internal/types"
+)
+
+// LayerCounts returns the node count of every MHT layer, bottom first:
+// [n, ⌈n/m⌉, ⌈n/m²⌉, …, 1].
+func LayerCounts(n int64, m int) []int64 {
+	if n <= 0 {
+		return nil
+	}
+	counts := []int64{n}
+	for counts[len(counts)-1] > 1 {
+		c := counts[len(counts)-1]
+		counts = append(counts, (c+int64(m)-1)/int64(m))
+	}
+	return counts
+}
+
+// LayerOffsets returns the file offset (in hash records) of each layer.
+func LayerOffsets(counts []int64) []int64 {
+	offs := make([]int64, len(counts))
+	for i := 1; i < len(counts); i++ {
+		offs[i] = offs[i-1] + counts[i-1]
+	}
+	return offs
+}
+
+// TotalNodes returns the total number of hash records in the Merkle file.
+func TotalNodes(counts []int64) int64 {
+	var t int64
+	for _, c := range counts {
+		t += c
+	}
+	return t
+}
+
+// Writer streams an m-ary complete MHT to disk (Algorithm 4). The total
+// stream size n must be known up front (it is: a run's size is fixed by its
+// level).
+type Writer struct {
+	f       *os.File
+	path    string
+	m       int
+	counts  []int64
+	offsets []int64
+	flushed []int64 // records flushed per layer
+	bufs    [][]types.Hash
+	added   int64
+	n       int64
+	root    types.Hash
+	done    bool
+}
+
+// CreateWriter creates a Merkle file for n leaves with fanout m ≥ 2.
+func CreateWriter(path string, n int64, m int) (*Writer, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("mht: fanout %d < 2", m)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("mht: need at least one leaf, got %d", n)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	counts := LayerCounts(n, m)
+	w := &Writer{
+		f:       f,
+		path:    path,
+		m:       m,
+		counts:  counts,
+		offsets: LayerOffsets(counts),
+		flushed: make([]int64, len(counts)),
+		bufs:    make([][]types.Hash, len(counts)),
+		n:       n,
+	}
+	if err := f.Truncate(TotalNodes(counts) * types.HashSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Add appends the next leaf hash (h(K‖value) of the entry at the current
+// position).
+func (w *Writer) Add(leaf types.Hash) error {
+	if w.done {
+		return fmt.Errorf("mht: add after Finish on %s", w.path)
+	}
+	if w.added >= w.n {
+		return fmt.Errorf("mht: more than %d leaves added to %s", w.n, w.path)
+	}
+	w.added++
+	w.bufs[0] = append(w.bufs[0], leaf)
+	for i := 0; i < len(w.counts)-1; i++ {
+		if len(w.bufs[i]) < w.m {
+			break
+		}
+		parent := types.HashConcat(w.bufs[i]...)
+		w.bufs[i+1] = append(w.bufs[i+1], parent)
+		if err := w.flushLayer(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Writer) flushLayer(i int) error {
+	if len(w.bufs[i]) == 0 {
+		return nil
+	}
+	buf := make([]byte, 0, len(w.bufs[i])*types.HashSize)
+	for _, h := range w.bufs[i] {
+		buf = append(buf, h[:]...)
+	}
+	off := (w.offsets[i] + w.flushed[i]) * types.HashSize
+	if _, err := w.f.WriteAt(buf, off); err != nil {
+		return err
+	}
+	w.flushed[i] += int64(len(w.bufs[i]))
+	w.bufs[i] = w.bufs[i][:0]
+	return nil
+}
+
+// Finish drains the per-layer buffers (Lines 15–18 of Algorithm 4), syncs
+// and closes the file, and returns the root hash.
+func (w *Writer) Finish() (types.Hash, error) {
+	if w.done {
+		return w.root, nil
+	}
+	if w.added != w.n {
+		w.f.Close()
+		return types.Hash{}, fmt.Errorf("mht: %d leaves added, expected %d", w.added, w.n)
+	}
+	d := len(w.counts)
+	for i := 0; i < d; i++ {
+		if len(w.bufs[i]) == 0 {
+			continue
+		}
+		if i == d-1 {
+			// Top layer: its single hash is the root.
+			w.root = w.bufs[i][0]
+			if err := w.flushLayer(i); err != nil {
+				w.f.Close()
+				return types.Hash{}, err
+			}
+			continue
+		}
+		parent := types.HashConcat(w.bufs[i]...)
+		w.bufs[i+1] = append(w.bufs[i+1], parent)
+		if err := w.flushLayer(i); err != nil {
+			w.f.Close()
+			return types.Hash{}, err
+		}
+	}
+	// Sanity: every layer fully flushed.
+	for i, c := range w.counts {
+		if w.flushed[i] != c {
+			w.f.Close()
+			return types.Hash{}, fmt.Errorf("mht: layer %d flushed %d of %d nodes", i, w.flushed[i], c)
+		}
+	}
+	if d == 1 {
+		// Single leaf: the leaf is the root. (flushLayer already wrote it.)
+		var buf [types.HashSize]byte
+		if _, err := w.f.ReadAt(buf[:], 0); err != nil {
+			w.f.Close()
+			return types.Hash{}, err
+		}
+		w.root = types.Hash(buf)
+	}
+	w.done = true
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return types.Hash{}, err
+	}
+	return w.root, w.f.Close()
+}
+
+// Abort closes and removes a partially written file.
+func (w *Writer) Abort() {
+	if !w.done {
+		w.done = true
+		w.f.Close()
+	}
+	os.Remove(w.path)
+}
+
+// File reads a Merkle file produced by Writer.
+type File struct {
+	f       *os.File
+	path    string
+	m       int
+	n       int64
+	counts  []int64
+	offsets []int64
+
+	hashReads int64
+}
+
+// Open opens a Merkle file for n leaves with fanout m.
+func Open(path string, n int64, m int) (*File, error) {
+	if m < 2 || n < 1 {
+		return nil, fmt.Errorf("mht: invalid geometry n=%d m=%d", n, m)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	counts := LayerCounts(n, m)
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < TotalNodes(counts)*types.HashSize {
+		f.Close()
+		return nil, fmt.Errorf("mht: %s has %d bytes, need %d", path, st.Size(), TotalNodes(counts)*types.HashSize)
+	}
+	return &File{f: f, path: path, m: m, n: n, counts: counts, offsets: LayerOffsets(counts)}, nil
+}
+
+// Layers returns the number of MHT layers.
+func (r *File) Layers() int { return len(r.counts) }
+
+// Leaves returns n.
+func (r *File) Leaves() int64 { return r.n }
+
+// NodeHash reads the hash at (layer, idx).
+func (r *File) NodeHash(layer int, idx int64) (types.Hash, error) {
+	if layer < 0 || layer >= len(r.counts) || idx < 0 || idx >= r.counts[layer] {
+		return types.Hash{}, fmt.Errorf("mht: node (%d,%d) out of range in %s", layer, idx, r.path)
+	}
+	var h types.Hash
+	if _, err := r.f.ReadAt(h[:], (r.offsets[layer]+idx)*types.HashSize); err != nil {
+		return types.Hash{}, err
+	}
+	r.hashReads++
+	return h, nil
+}
+
+// Root returns the root hash (the last record of the file).
+func (r *File) Root() (types.Hash, error) {
+	return r.NodeHash(len(r.counts)-1, 0)
+}
+
+// HashReads returns how many node hashes were fetched (IO accounting).
+func (r *File) HashReads() int64 { return r.hashReads }
+
+// Close releases the file handle.
+func (r *File) Close() error { return r.f.Close() }
+
+// RangeProof authenticates the leaves at positions [Lo, Hi] of an n-leaf
+// m-ary MHT. Per layer it carries the sibling hashes to the left of the
+// span start and to the right of the span end within their groups.
+type RangeProof struct {
+	N  int64 // total leaves
+	M  int   // fanout
+	Lo int64 // first proven position
+	Hi int64 // last proven position
+	// Left[i] / Right[i] are the flanking sibling hashes at layer i.
+	Left  [][]types.Hash
+	Right [][]types.Hash
+}
+
+// Size returns the proof's wire size in bytes (hash payload plus the
+// fixed header fields); used by the proof-size experiments.
+func (p *RangeProof) Size() int {
+	nh := 0
+	for i := range p.Left {
+		nh += len(p.Left[i]) + len(p.Right[i])
+	}
+	return nh*types.HashSize + 8*3 + 4 + 2*len(p.Left)
+}
+
+// ProveRange builds a range proof for leaf positions [lo, hi].
+func (r *File) ProveRange(lo, hi int64) (*RangeProof, error) {
+	if lo < 0 || hi < lo || hi >= r.n {
+		return nil, fmt.Errorf("mht: bad range [%d,%d] of %d leaves", lo, hi, r.n)
+	}
+	p := &RangeProof{N: r.n, M: r.m, Lo: lo, Hi: hi}
+	l, h := lo, hi
+	for layer := 0; layer < len(r.counts)-1; layer++ {
+		groupStart := (l / int64(r.m)) * int64(r.m)
+		groupEnd := (h/int64(r.m))*int64(r.m) + int64(r.m) - 1
+		if groupEnd >= r.counts[layer] {
+			groupEnd = r.counts[layer] - 1
+		}
+		var left, right []types.Hash
+		for i := groupStart; i < l; i++ {
+			hh, err := r.NodeHash(layer, i)
+			if err != nil {
+				return nil, err
+			}
+			left = append(left, hh)
+		}
+		for i := h + 1; i <= groupEnd; i++ {
+			hh, err := r.NodeHash(layer, i)
+			if err != nil {
+				return nil, err
+			}
+			right = append(right, hh)
+		}
+		p.Left = append(p.Left, left)
+		p.Right = append(p.Right, right)
+		l /= int64(r.m)
+		h /= int64(r.m)
+	}
+	return p, nil
+}
+
+// VerifyRange recomputes the root from the claimed leaf hashes of
+// positions [proof.Lo, proof.Hi] and the proof's flanking siblings.
+// It returns the reconstructed root; the caller compares it against the
+// authenticated root (e.g. from root_hash_list / Hstate).
+func VerifyRange(proof *RangeProof, leaves []types.Hash) (types.Hash, error) {
+	if proof.N < 1 || proof.M < 2 {
+		return types.Hash{}, fmt.Errorf("mht: corrupt proof geometry n=%d m=%d", proof.N, proof.M)
+	}
+	if proof.Lo < 0 || proof.Hi < proof.Lo || proof.Hi >= proof.N {
+		return types.Hash{}, fmt.Errorf("mht: corrupt proof range [%d,%d]", proof.Lo, proof.Hi)
+	}
+	if int64(len(leaves)) != proof.Hi-proof.Lo+1 {
+		return types.Hash{}, fmt.Errorf("mht: %d leaf hashes for range [%d,%d]", len(leaves), proof.Lo, proof.Hi)
+	}
+	counts := LayerCounts(proof.N, proof.M)
+	if len(proof.Left) != len(counts)-1 || len(proof.Right) != len(counts)-1 {
+		return types.Hash{}, fmt.Errorf("mht: proof has %d layers, want %d", len(proof.Left), len(counts)-1)
+	}
+	m := int64(proof.M)
+	cur := leaves
+	l, h := proof.Lo, proof.Hi
+	for layer := 0; layer < len(counts)-1; layer++ {
+		groupStart := (l / m) * m
+		groupEnd := (h/m)*m + m - 1
+		if groupEnd >= counts[layer] {
+			groupEnd = counts[layer] - 1
+		}
+		if int64(len(proof.Left[layer])) != l-groupStart ||
+			int64(len(proof.Right[layer])) != groupEnd-h {
+			return types.Hash{}, fmt.Errorf("mht: layer %d sibling count mismatch", layer)
+		}
+		// Assemble the full covered node span [groupStart, groupEnd].
+		span := make([]types.Hash, 0, groupEnd-groupStart+1)
+		span = append(span, proof.Left[layer]...)
+		span = append(span, cur...)
+		span = append(span, proof.Right[layer]...)
+		// Hash each complete (possibly short, if last) group into parents.
+		var parents []types.Hash
+		for gs := groupStart; gs <= groupEnd; gs += m {
+			ge := gs + m - 1
+			if ge > groupEnd {
+				ge = groupEnd
+			}
+			grp := span[gs-groupStart : ge-groupStart+1]
+			parents = append(parents, types.HashConcat(grp...))
+		}
+		cur = parents
+		l /= m
+		h /= m
+	}
+	if len(cur) != 1 {
+		return types.Hash{}, fmt.Errorf("mht: verification converged to %d nodes", len(cur))
+	}
+	return cur[0], nil
+}
+
+// RootOf computes the m-ary MHT root of a leaf set entirely in memory
+// (used for transaction digests in block headers and for tests).
+func RootOf(leaves []types.Hash, m int) types.Hash {
+	if len(leaves) == 0 {
+		return types.ZeroHash
+	}
+	cur := leaves
+	for len(cur) > 1 {
+		var next []types.Hash
+		for i := 0; i < len(cur); i += m {
+			j := i + m
+			if j > len(cur) {
+				j = len(cur)
+			}
+			next = append(next, types.HashConcat(cur[i:j]...))
+		}
+		cur = next
+	}
+	return cur[0]
+}

@@ -1,0 +1,339 @@
+package mht
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"cole/internal/types"
+)
+
+func leafHashes(n int64) []types.Hash {
+	hs := make([]types.Hash, n)
+	for i := range hs {
+		hs[i] = types.HashData([]byte{byte(i), byte(i >> 8), byte(i >> 16)})
+	}
+	return hs
+}
+
+func buildFile(t *testing.T, dir string, leaves []types.Hash, m int) (*File, types.Hash) {
+	t.Helper()
+	path := filepath.Join(dir, "merkle.dat")
+	w, err := CreateWriter(path, int64(len(leaves)), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range leaves {
+		if err := w.Add(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path, int64(len(leaves)), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f, root
+}
+
+func TestLayerGeometry(t *testing.T) {
+	counts := LayerCounts(4, 2)
+	want := []int64{4, 2, 1}
+	if len(counts) != len(want) {
+		t.Fatalf("counts %v", counts)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts %v, want %v", counts, want)
+		}
+	}
+	offs := LayerOffsets(counts)
+	if offs[0] != 0 || offs[1] != 4 || offs[2] != 6 {
+		t.Fatalf("offsets %v (paper example expects [0,4,6])", offs)
+	}
+	if TotalNodes(counts) != 7 {
+		t.Fatalf("total %d", TotalNodes(counts))
+	}
+	if LayerCounts(0, 2) != nil {
+		t.Fatal("empty tree has no layers")
+	}
+	if got := LayerCounts(1, 4); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("single leaf: %v", got)
+	}
+}
+
+func TestPaperExampleBinaryTree(t *testing.T) {
+	// Figure 6: s1..s4, m=2. Root must equal h(h(h1‖h2)‖h(h3‖h4)).
+	leaves := leafHashes(4)
+	_, root := buildFile(t, t.TempDir(), leaves, 2)
+	h12 := types.HashConcat(leaves[0], leaves[1])
+	h34 := types.HashConcat(leaves[2], leaves[3])
+	if root != types.HashConcat(h12, h34) {
+		t.Fatal("root does not match manual computation")
+	}
+}
+
+func TestStreamingMatchesInMemoryAcrossShapes(t *testing.T) {
+	for _, m := range []int{2, 3, 4, 8, 16, 64} {
+		for _, n := range []int64{1, 2, 3, 5, 7, 16, 17, 63, 64, 65, 100, 1000} {
+			leaves := leafHashes(n)
+			f, root := buildFile(t, t.TempDir(), leaves, m)
+			if want := RootOf(leaves, m); root != want {
+				t.Fatalf("n=%d m=%d: streaming root != in-memory root", n, m)
+			}
+			got, err := f.Root()
+			if err != nil || got != root {
+				t.Fatalf("n=%d m=%d: file root mismatch (%v)", n, m, err)
+			}
+		}
+	}
+}
+
+func TestShortLastGroup(t *testing.T) {
+	// n=5, m=4: layer0=5, layer1=2 (one full group + one 1-child group),
+	// layer2=1. The short group hashes fewer than m children.
+	leaves := leafHashes(5)
+	_, root := buildFile(t, t.TempDir(), leaves, 4)
+	g1 := types.HashConcat(leaves[0], leaves[1], leaves[2], leaves[3])
+	g2 := types.HashConcat(leaves[4])
+	if root != types.HashConcat(g1, g2) {
+		t.Fatal("short-group hashing deviates from Definition 2")
+	}
+}
+
+func TestNodeHashReadsEveryLayer(t *testing.T) {
+	leaves := leafHashes(10)
+	f, _ := buildFile(t, t.TempDir(), leaves, 2)
+	for i := int64(0); i < 10; i++ {
+		h, err := f.NodeHash(0, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != leaves[i] {
+			t.Fatalf("leaf %d corrupted", i)
+		}
+	}
+	if _, err := f.NodeHash(0, 10); err == nil {
+		t.Fatal("out-of-range idx must error")
+	}
+	if _, err := f.NodeHash(99, 0); err == nil {
+		t.Fatal("out-of-range layer must error")
+	}
+	if f.HashReads() == 0 {
+		t.Fatal("IO accounting must count reads")
+	}
+}
+
+func TestWriterMisuse(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := CreateWriter(filepath.Join(dir, "x"), 4, 1); err == nil {
+		t.Fatal("fanout < 2 must error")
+	}
+	if _, err := CreateWriter(filepath.Join(dir, "x"), 0, 2); err == nil {
+		t.Fatal("zero leaves must error")
+	}
+	w, err := CreateWriter(filepath.Join(dir, "y"), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Finish(); err == nil {
+		t.Fatal("finishing before all leaves are added must error")
+	}
+	w2, _ := CreateWriter(filepath.Join(dir, "z"), 1, 2)
+	_ = w2.Add(leafHashes(1)[0])
+	if err := w2.Add(leafHashes(1)[0]); err == nil {
+		t.Fatal("extra leaf must error")
+	}
+}
+
+func TestRangeProofRoundTrip(t *testing.T) {
+	leaves := leafHashes(37)
+	f, root := buildFile(t, t.TempDir(), leaves, 4)
+	for _, rng := range [][2]int64{{0, 0}, {0, 36}, {5, 9}, {35, 36}, {16, 16}, {3, 20}} {
+		p, err := f.ProveRange(rng[0], rng[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := VerifyRange(p, leaves[rng[0]:rng[1]+1])
+		if err != nil {
+			t.Fatalf("range %v: %v", rng, err)
+		}
+		if got != root {
+			t.Fatalf("range %v: reconstructed root mismatch", rng)
+		}
+	}
+}
+
+func TestRangeProofDetectsTampering(t *testing.T) {
+	leaves := leafHashes(20)
+	f, root := buildFile(t, t.TempDir(), leaves, 2)
+	p, err := f.ProveRange(5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tampered leaf.
+	bad := append([]types.Hash(nil), leaves[5:9]...)
+	bad[2][0] ^= 1
+	if got, err := VerifyRange(p, bad); err == nil && got == root {
+		t.Fatal("tampered leaf must not verify")
+	}
+	// Tampered sibling (range 5..8 is group-misaligned for m=2, so layer 0
+	// has flanking siblings on both sides).
+	if len(p.Left[0]) == 0 && len(p.Right[0]) == 0 {
+		t.Fatal("test needs flanking siblings")
+	}
+	p2, _ := f.ProveRange(5, 8)
+	if len(p2.Right[0]) > 0 {
+		p2.Right[0][0][0] ^= 1
+	} else {
+		p2.Left[0][0][0] ^= 1
+	}
+	if got, err := VerifyRange(p2, leaves[5:9]); err == nil && got == root {
+		t.Fatal("tampered sibling must not verify")
+	}
+	// Shifted range (claiming different positions for same hashes).
+	p3, _ := f.ProveRange(5, 8)
+	p3.Lo, p3.Hi = 6, 9
+	if got, err := VerifyRange(p3, leaves[5:9]); err == nil && got == root {
+		t.Fatal("shifted range must not verify")
+	}
+}
+
+func TestVerifyRejectsMalformedProofs(t *testing.T) {
+	leaves := leafHashes(10)
+	f, _ := buildFile(t, t.TempDir(), leaves, 2)
+	p, _ := f.ProveRange(2, 4)
+	if _, err := VerifyRange(p, leaves[2:4]); err == nil {
+		t.Fatal("wrong leaf count must error")
+	}
+	p.Left = p.Left[:1]
+	if _, err := VerifyRange(p, leaves[2:5]); err == nil {
+		t.Fatal("missing layers must error")
+	}
+	bad := &RangeProof{N: 0, M: 2, Lo: 0, Hi: 0}
+	if _, err := VerifyRange(bad, leaves[:1]); err == nil {
+		t.Fatal("corrupt geometry must error")
+	}
+	bad2 := &RangeProof{N: 10, M: 2, Lo: 5, Hi: 2}
+	if _, err := VerifyRange(bad2, nil); err == nil {
+		t.Fatal("inverted range must error")
+	}
+}
+
+func TestProveRangeValidation(t *testing.T) {
+	leaves := leafHashes(10)
+	f, _ := buildFile(t, t.TempDir(), leaves, 2)
+	if _, err := f.ProveRange(-1, 2); err == nil {
+		t.Fatal("negative lo must error")
+	}
+	if _, err := f.ProveRange(3, 2); err == nil {
+		t.Fatal("hi < lo must error")
+	}
+	if _, err := f.ProveRange(0, 10); err == nil {
+		t.Fatal("hi ≥ n must error")
+	}
+}
+
+func TestProofSizeGrowsSublinearlyInRange(t *testing.T) {
+	// The point of sharing ancestors (§8.2.5): doubling the range must not
+	// double the proof size.
+	leaves := leafHashes(1 << 12)
+	f, _ := buildFile(t, t.TempDir(), leaves, 4)
+	p16, _ := f.ProveRange(100, 115)
+	p128, _ := f.ProveRange(100, 227)
+	if p128.Size() >= p16.Size()*8 {
+		t.Fatalf("proof sizes: 16→%d bytes, 128→%d bytes; expected sublinear growth", p16.Size(), p128.Size())
+	}
+}
+
+func TestSingleLeafTree(t *testing.T) {
+	leaves := leafHashes(1)
+	f, root := buildFile(t, t.TempDir(), leaves, 2)
+	if root != leaves[0] {
+		t.Fatal("single-leaf root must be the leaf itself")
+	}
+	p, err := f.ProveRange(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := VerifyRange(p, leaves)
+	if err != nil || got != root {
+		t.Fatalf("single-leaf proof failed: %v", err)
+	}
+}
+
+func TestRangeProofProperty(t *testing.T) {
+	f := func(seed int64, mRaw uint8, nRaw uint16) bool {
+		m := int(mRaw%7) + 2
+		n := int64(nRaw%500) + 1
+		r := rand.New(rand.NewSource(seed))
+		leaves := make([]types.Hash, n)
+		for i := range leaves {
+			r.Read(leaves[i][:])
+		}
+		dir := t.TempDir()
+		path := filepath.Join(dir, "m")
+		w, err := CreateWriter(path, n, m)
+		if err != nil {
+			return false
+		}
+		for _, h := range leaves {
+			if err := w.Add(h); err != nil {
+				return false
+			}
+		}
+		root, err := w.Finish()
+		if err != nil {
+			return false
+		}
+		file, err := Open(path, n, m)
+		if err != nil {
+			return false
+		}
+		defer file.Close()
+		lo := r.Int63n(n)
+		hi := lo + r.Int63n(n-lo)
+		p, err := file.ProveRange(lo, hi)
+		if err != nil {
+			return false
+		}
+		got, err := VerifyRange(p, leaves[lo:hi+1])
+		return err == nil && got == root && got == RootOf(leaves, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenValidatesGeometry(t *testing.T) {
+	leaves := leafHashes(8)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m")
+	w, _ := CreateWriter(path, 8, 2)
+	for _, h := range leaves {
+		_ = w.Add(h)
+	}
+	if _, err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, 1000, 2); err == nil {
+		t.Fatal("oversized n must error")
+	}
+	if _, err := Open(path, 8, 1); err == nil {
+		t.Fatal("fanout 1 must error")
+	}
+	if _, err := Open(filepath.Join(dir, "missing"), 8, 2); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestRootOfEmpty(t *testing.T) {
+	if RootOf(nil, 2) != types.ZeroHash {
+		t.Fatal("empty root must be the zero hash")
+	}
+}

@@ -1,0 +1,355 @@
+package mpt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cole/internal/kvstore"
+	"cole/internal/types"
+)
+
+func newTrie(t *testing.T, persistent bool) *Trie {
+	t.Helper()
+	db, err := kvstore.Open(kvstore.Options{Dir: t.TempDir(), MemBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return New(db, persistent)
+}
+
+func addr(i uint64) types.Address { return types.AddressFromUint64(i) }
+func val(i uint64) types.Value    { return types.ValueFromUint64(i) }
+
+func TestEmptyTrie(t *testing.T) {
+	tr := newTrie(t, true)
+	if tr.Root() != types.ZeroHash {
+		t.Fatal("empty trie root must be ZeroHash")
+	}
+	if _, ok, err := tr.Get(addr(1)); ok || err != nil {
+		t.Fatalf("empty trie get: %v %v", ok, err)
+	}
+}
+
+func TestPutGetAgainstMap(t *testing.T) {
+	for _, persistent := range []bool{true, false} {
+		tr := newTrie(t, persistent)
+		ref := map[types.Address]types.Value{}
+		r := rand.New(rand.NewSource(1))
+		for i := 0; i < 2000; i++ {
+			a := addr(r.Uint64() % 500)
+			v := val(r.Uint64())
+			if err := tr.Put(a, v); err != nil {
+				t.Fatal(err)
+			}
+			ref[a] = v
+		}
+		for a, want := range ref {
+			got, ok, err := tr.Get(a)
+			if err != nil || !ok || got != want {
+				t.Fatalf("persistent=%v get(%v): %v ok=%v err=%v", persistent, a, got, ok, err)
+			}
+		}
+		if _, ok, _ := tr.Get(addr(10_000)); ok {
+			t.Fatal("absent address must miss")
+		}
+	}
+}
+
+func TestRootChangesDeterministically(t *testing.T) {
+	build := func() types.Hash {
+		tr := newTrie(t, true)
+		for i := uint64(0); i < 100; i++ {
+			if err := tr.Put(addr(i), val(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr.Root()
+	}
+	if build() != build() {
+		t.Fatal("identical updates must give identical roots")
+	}
+}
+
+func TestRootIndependentOfInsertionOrderForFinalState(t *testing.T) {
+	// MPT roots are a function of the key-value set only (unlike B-trees):
+	// permuting insert order of distinct keys yields the same root.
+	mk := func(order []uint64) types.Hash {
+		tr := newTrie(t, true)
+		for _, i := range order {
+			if err := tr.Put(addr(i), val(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr.Root()
+	}
+	h1 := mk([]uint64{1, 2, 3, 4, 5, 6, 7, 8})
+	h2 := mk([]uint64{8, 3, 1, 7, 5, 2, 6, 4})
+	if h1 != h2 {
+		t.Fatal("MPT root must be insertion-order independent")
+	}
+}
+
+func TestHistoricalRootsRemainReadable(t *testing.T) {
+	tr := newTrie(t, true)
+	a := addr(7)
+	var roots []types.Hash
+	for blk := uint64(1); blk <= 50; blk++ {
+		if err := tr.Put(a, val(blk)); err != nil {
+			t.Fatal(err)
+		}
+		roots = append(roots, tr.Root())
+	}
+	// Every historical version is still reachable from its root.
+	for i, root := range roots {
+		v, ok, err := tr.GetAtRoot(root, a)
+		if err != nil || !ok {
+			t.Fatalf("block %d: %v %v", i+1, ok, err)
+		}
+		if v.Uint64() != uint64(i+1) {
+			t.Fatalf("block %d: got %d", i+1, v.Uint64())
+		}
+	}
+}
+
+func TestNonPersistentDeletesOldNodes(t *testing.T) {
+	// Writing the same address repeatedly must not grow storage in
+	// non-persistent mode (modulo LSM garbage before compaction), while
+	// persistent mode grows linearly.
+	count := func(persistent bool) int64 {
+		db, err := kvstore.Open(kvstore.Options{Dir: t.TempDir(), MemBytes: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		tr := New(db, persistent)
+		for i := uint64(0); i < 50; i++ {
+			_ = tr.Put(addr(i%5), val(i))
+		}
+		return int64(tr.Stats().NodesWrite) - int64(tr.Stats().Puts) // rough: writes beyond one per put
+	}
+	_ = count // node-write counts are equal; the real check is deletions:
+	dbNP, _ := kvstore.Open(kvstore.Options{Dir: t.TempDir(), MemBytes: 1 << 20})
+	defer dbNP.Close()
+	trNP := New(dbNP, false)
+	for i := uint64(0); i < 200; i++ {
+		if err := trNP.Put(addr(i%5), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dbNP.Stats().Deletes == 0 {
+		t.Fatal("non-persistent mode must delete superseded nodes")
+	}
+	// All current values still present.
+	for i := uint64(0); i < 5; i++ {
+		if _, ok, err := trNP.Get(addr(i)); !ok || err != nil {
+			t.Fatalf("addr %d lost after deletions: %v", i, err)
+		}
+	}
+}
+
+func TestNonPersistentOldRootsUnreadable(t *testing.T) {
+	tr := newTrie(t, false)
+	a := addr(1)
+	_ = tr.Put(a, val(1))
+	oldRoot := tr.Root()
+	for i := uint64(2); i < 30; i++ {
+		_ = tr.Put(a, val(i))
+	}
+	if _, _, err := tr.GetAtRoot(oldRoot, a); err == nil {
+		t.Fatal("old roots must become unreadable in non-persistent mode")
+	}
+}
+
+func TestProveAndVerifyPresence(t *testing.T) {
+	tr := newTrie(t, true)
+	ref := map[types.Address]types.Value{}
+	for i := uint64(0); i < 300; i++ {
+		a, v := addr(i), val(i*3)
+		_ = tr.Put(a, v)
+		ref[a] = v
+	}
+	root := tr.Root()
+	for a, want := range ref {
+		v, found, p, err := tr.Prove(root, a)
+		if err != nil || !found || v != want {
+			t.Fatalf("prove(%v): %v %v %v", a, v, found, err)
+		}
+		got, ok, err := VerifyProof(root, a, p)
+		if err != nil || !ok || got != want {
+			t.Fatalf("verify(%v): %v %v %v", a, got, ok, err)
+		}
+	}
+}
+
+func TestProveAndVerifyAbsence(t *testing.T) {
+	tr := newTrie(t, true)
+	for i := uint64(0); i < 100; i++ {
+		_ = tr.Put(addr(i), val(i))
+	}
+	root := tr.Root()
+	for i := uint64(1000); i < 1050; i++ {
+		a := addr(i)
+		_, found, p, err := tr.Prove(root, a)
+		if err != nil || found {
+			t.Fatalf("prove absent(%v): %v %v", a, found, err)
+		}
+		_, ok, err := VerifyProof(root, a, p)
+		if err != nil {
+			t.Fatalf("verify absence failed: %v", err)
+		}
+		if ok {
+			t.Fatal("absence proof returned presence")
+		}
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	tr := newTrie(t, true)
+	for i := uint64(0); i < 100; i++ {
+		_ = tr.Put(addr(i), val(i))
+	}
+	root := tr.Root()
+	a := addr(42)
+	_, _, p, _ := tr.Prove(root, a)
+
+	// Tampered node bytes.
+	p.Nodes[len(p.Nodes)-1][len(p.Nodes[len(p.Nodes)-1])-1] ^= 1
+	if _, _, err := VerifyProof(root, a, p); err == nil {
+		t.Fatal("tampered node must fail")
+	}
+	// Truncated proof.
+	_, _, p2, _ := tr.Prove(root, a)
+	p2.Nodes = p2.Nodes[:len(p2.Nodes)-1]
+	if _, _, err := VerifyProof(root, a, p2); err == nil {
+		t.Fatal("truncated proof must fail")
+	}
+	// Wrong root.
+	_, _, p3, _ := tr.Prove(root, a)
+	bad := root
+	bad[0] ^= 1
+	if _, _, err := VerifyProof(bad, a, p3); err == nil {
+		t.Fatal("wrong root must fail")
+	}
+	// Proof for a different address.
+	_, _, p4, _ := tr.Prove(root, addr(43))
+	if v, ok, err := VerifyProof(root, a, p4); err == nil && ok && v == val(43) {
+		t.Fatal("cross-address proof must not yield a value for the wrong address")
+	}
+}
+
+func TestHistoryProvQuery(t *testing.T) {
+	tr := newTrie(t, true)
+	h := NewHistory(tr)
+	a := addr(5)
+	for blk := uint64(1); blk <= 20; blk++ {
+		if blk%3 == 0 {
+			_ = tr.Put(a, val(blk))
+		}
+		_ = tr.Put(addr(blk+100), val(blk)) // noise
+		if err := h.CommitBlock(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	values, proofs, err := h.ProvQuery(a, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != 6 || len(proofs) != 6 {
+		t.Fatalf("expected 6 per-block answers, got %d/%d", len(values), len(proofs))
+	}
+	// Value active at block 5 is the write at 3; at block 6..8 the write
+	// at 6; etc.
+	wantAt := []uint64{3, 6, 6, 6, 9, 9}
+	for i, want := range wantAt {
+		blk := uint64(5 + i)
+		root, ok, _ := h.RootAt(blk)
+		if !ok {
+			t.Fatalf("missing root for %d", blk)
+		}
+		got, ok, err := VerifyProof(root, a, proofs[i])
+		if err != nil || !ok {
+			t.Fatalf("block %d: verify failed %v", blk, err)
+		}
+		if got != val(want) || values[i] != val(want) {
+			t.Fatalf("block %d: got %d want %d", blk, got.Uint64(), want)
+		}
+	}
+	// Proof cost is linear in the range: 12 blocks ≈ 2× the proof bytes
+	// of 6 blocks (the paper's Figure 14 shape for MPT).
+	_, proofsWide, _ := h.ProvQuery(a, 5, 16)
+	sz := func(ps []*Proof) int {
+		s := 0
+		for _, p := range ps {
+			s += p.Size()
+		}
+		return s
+	}
+	if sz(proofsWide) < sz(proofs)*3/2 {
+		t.Fatal("proof size must grow with the range")
+	}
+	if _, _, err := h.ProvQuery(a, 100, 101); err == nil {
+		t.Fatal("unrecorded blocks must error")
+	}
+}
+
+func TestTrieQuickProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := newTrie(t, true)
+		ref := map[types.Address]types.Value{}
+		for i := 0; i < int(n)+1; i++ {
+			a := addr(r.Uint64() % 64)
+			v := val(r.Uint64())
+			if err := tr.Put(a, v); err != nil {
+				return false
+			}
+			ref[a] = v
+		}
+		root := tr.Root()
+		for a, want := range ref {
+			got, ok, err := tr.Get(a)
+			if err != nil || !ok || got != want {
+				return false
+			}
+			pv, found, p, err := tr.Prove(root, a)
+			if err != nil || !found || pv != want {
+				return false
+			}
+			vv, ok2, err := VerifyProof(root, a, p)
+			if err != nil || !ok2 || vv != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistentStorageGrowsNonPersistentDoesNot(t *testing.T) {
+	measure := func(persistent bool) int64 {
+		db, err := kvstore.Open(kvstore.Options{Dir: t.TempDir(), MemBytes: 1 << 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		tr := New(db, persistent)
+		for i := uint64(0); i < 3000; i++ {
+			if err := tr.Put(addr(i%20), val(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return db.SizeOnDisk()
+	}
+	p := measure(true)
+	np := measure(false)
+	if p < np*3 {
+		t.Fatalf("persistent storage (%d) must far exceed non-persistent (%d)", p, np)
+	}
+}

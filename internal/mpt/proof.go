@@ -1,0 +1,185 @@
+package mpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"cole/internal/types"
+)
+
+// Proof is a Merkle path: the node encodings from the root to the point
+// where the lookup terminates (a matching leaf, a divergence, or a missing
+// branch child). Verification recomputes each node's hash, so tampering
+// anywhere breaks the chain (§2's MPT proof).
+type Proof struct {
+	Nodes [][]byte
+}
+
+// Size returns the proof's wire size in bytes.
+func (p *Proof) Size() int {
+	s := 2
+	for _, n := range p.Nodes {
+		s += 4 + len(n)
+	}
+	return s
+}
+
+// Prove returns addr's value (or absence) at root plus the Merkle path.
+func (t *Trie) Prove(root types.Hash, addr types.Address) (types.Value, bool, *Proof, error) {
+	p := &Proof{}
+	h := root
+	path := nibbles(addr)
+	for {
+		if h == types.ZeroHash {
+			return types.Value{}, false, p, nil
+		}
+		n, err := t.loadNode(h)
+		if err != nil {
+			return types.Value{}, false, nil, err
+		}
+		p.Nodes = append(p.Nodes, encodeNode(n))
+		switch nd := n.(type) {
+		case *leaf:
+			if bytes.Equal(nd.path, path) {
+				return nd.value, true, p, nil
+			}
+			return types.Value{}, false, p, nil
+		case *extension:
+			if len(path) < len(nd.path) || !bytes.Equal(path[:len(nd.path)], nd.path) {
+				return types.Value{}, false, p, nil
+			}
+			path = path[len(nd.path):]
+			h = nd.child
+		case *branch:
+			if len(path) == 0 {
+				return types.Value{}, false, p, nil
+			}
+			h = nd.children[path[0]]
+			path = path[1:]
+		}
+	}
+}
+
+// VerifyProof checks a Merkle path against a trusted root and returns the
+// proven value or verified absence.
+func VerifyProof(root types.Hash, addr types.Address, p *Proof) (types.Value, bool, error) {
+	if p == nil {
+		return types.Value{}, false, fmt.Errorf("mpt: nil proof")
+	}
+	expected := root
+	path := nibbles(addr)
+	for i, raw := range p.Nodes {
+		if expected == types.ZeroHash {
+			return types.Value{}, false, fmt.Errorf("mpt: proof continues past an empty subtree")
+		}
+		if types.HashData(raw) != expected {
+			return types.Value{}, false, fmt.Errorf("mpt: node %d hash mismatch", i)
+		}
+		n, err := decodeNode(raw)
+		if err != nil {
+			return types.Value{}, false, err
+		}
+		last := i == len(p.Nodes)-1
+		switch nd := n.(type) {
+		case *leaf:
+			if !last {
+				return types.Value{}, false, fmt.Errorf("mpt: leaf before end of proof")
+			}
+			if bytes.Equal(nd.path, path) {
+				return nd.value, true, nil
+			}
+			return types.Value{}, false, nil // proven absence (diverging leaf)
+		case *extension:
+			if len(path) < len(nd.path) || !bytes.Equal(path[:len(nd.path)], nd.path) {
+				if !last {
+					return types.Value{}, false, fmt.Errorf("mpt: proof continues past divergence")
+				}
+				return types.Value{}, false, nil // proven absence
+			}
+			path = path[len(nd.path):]
+			expected = nd.child
+		case *branch:
+			if len(path) == 0 {
+				return types.Value{}, false, fmt.Errorf("mpt: address exhausted at branch")
+			}
+			next := nd.children[path[0]]
+			path = path[1:]
+			if next == types.ZeroHash {
+				if !last {
+					return types.Value{}, false, fmt.Errorf("mpt: proof continues past missing child")
+				}
+				return types.Value{}, false, nil // proven absence
+			}
+			expected = next
+		}
+	}
+	if root == types.ZeroHash && len(p.Nodes) == 0 {
+		return types.Value{}, false, nil // empty trie: everything absent
+	}
+	return types.Value{}, false, fmt.Errorf("mpt: proof ends before lookup terminates")
+}
+
+// History records the root of every committed block, giving the
+// persistent MPT its provenance capability: ProvQuery traverses the trie
+// of each block in the queried range (which is why the paper measures
+// MPT's provenance cost as linear in the range, §8.2.5).
+type History struct {
+	trie *Trie
+}
+
+// NewHistory wraps a persistent trie.
+func NewHistory(trie *Trie) *History { return &History{trie: trie} }
+
+func rootAtKey(blk uint64) []byte {
+	k := make([]byte, 2+8)
+	copy(k, "r/")
+	binary.BigEndian.PutUint64(k[2:], blk)
+	return k
+}
+
+// CommitBlock records the current root as block blk's state root.
+func (h *History) CommitBlock(blk uint64) error {
+	root := h.trie.Root()
+	return h.trie.db.Put(rootAtKey(blk), root[:])
+}
+
+// RootAt returns the state root of block blk.
+func (h *History) RootAt(blk uint64) (types.Hash, bool, error) {
+	raw, ok, err := h.trie.db.Get(rootAtKey(blk))
+	if err != nil || !ok {
+		return types.Hash{}, ok, err
+	}
+	var out types.Hash
+	copy(out[:], raw)
+	return out, true, nil
+}
+
+// ProvQuery answers a provenance query the MPT way: one proven point
+// lookup per block in [blkLo, blkHi].
+func (h *History) ProvQuery(addr types.Address, blkLo, blkHi uint64) ([]types.Value, []*Proof, error) {
+	var (
+		values []types.Value
+		proofs []*Proof
+	)
+	for b := blkLo; b <= blkHi; b++ {
+		root, ok, err := h.RootAt(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			return nil, nil, fmt.Errorf("mpt: no root recorded for block %d", b)
+		}
+		v, found, p, err := h.trie.Prove(root, addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		if found {
+			values = append(values, v)
+		} else {
+			values = append(values, types.Value{})
+		}
+		proofs = append(proofs, p)
+	}
+	return values, proofs, nil
+}

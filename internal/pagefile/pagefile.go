@@ -1,0 +1,378 @@
+// Package pagefile provides the page-granular file layer underneath COLE's
+// value and index files.
+//
+// Files are organized into fixed-size pages (default 4 KiB) holding
+// fixed-size records that never straddle a page boundary; the tail of each
+// page is zero padding. This layout is what makes the paper's ε rule work
+// (§4.1): with perPage = ⌊pageSize/recordSize⌋ records per page and
+// ε = ⌊perPage/2⌋, a learned model's prediction error of ±ε keeps the true
+// record within one page of the predicted page, so a lookup touches at most
+// two pages.
+//
+// Writers stream append-only (runs are immutable once built); readers go
+// through a small per-file LRU page cache and count disk reads vs cache
+// hits so benchmarks can report IO cost.
+package pagefile
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultPageSize is the disk page granularity assumed by the paper.
+const DefaultPageSize = 4096
+
+// PerPage returns how many recSize-byte records fit in a page.
+func PerPage(pageSize, recSize int) int {
+	if recSize <= 0 || pageSize < recSize {
+		return 0
+	}
+	return pageSize / recSize
+}
+
+// Epsilon returns the paper's error bound for a given record layout:
+// half the records per page (§4.1).
+func Epsilon(pageSize, recSize int) int {
+	return PerPage(pageSize, recSize) / 2
+}
+
+// IOStats counts physical page reads and cache hits.
+type IOStats struct {
+	PageReads int64
+	CacheHits int64
+}
+
+// Writer appends fixed-size records to a page-padded file.
+type Writer struct {
+	f        *os.File
+	path     string
+	pageSize int
+	recSize  int
+	perPage  int
+	page     []byte
+	inPage   int
+	count    int64
+	closed   bool
+}
+
+// CreateWriter creates (truncating) a record file for streaming writes.
+func CreateWriter(path string, pageSize, recSize int) (*Writer, error) {
+	if PerPage(pageSize, recSize) < 1 {
+		return nil, fmt.Errorf("pagefile: record size %d does not fit page size %d", recSize, pageSize)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{
+		f:        f,
+		path:     path,
+		pageSize: pageSize,
+		recSize:  recSize,
+		perPage:  PerPage(pageSize, recSize),
+		page:     make([]byte, pageSize),
+	}, nil
+}
+
+// Append writes one record; rec must be exactly the record size.
+func (w *Writer) Append(rec []byte) error {
+	if w.closed {
+		return fmt.Errorf("pagefile: append to finished writer %s", w.path)
+	}
+	if len(rec) != w.recSize {
+		return fmt.Errorf("pagefile: record length %d, want %d", len(rec), w.recSize)
+	}
+	copy(w.page[w.inPage*w.recSize:], rec)
+	w.inPage++
+	w.count++
+	if w.inPage == w.perPage {
+		return w.flushPage()
+	}
+	return nil
+}
+
+func (w *Writer) flushPage() error {
+	if w.inPage == 0 {
+		return nil
+	}
+	// Zero the padding after the last record (page buffer is reused).
+	for i := w.inPage * w.recSize; i < w.pageSize; i++ {
+		w.page[i] = 0
+	}
+	if _, err := w.f.Write(w.page); err != nil {
+		return err
+	}
+	w.inPage = 0
+	return nil
+}
+
+// Count returns the number of records appended so far (including padding
+// slots consumed by Pad).
+func (w *Writer) Count() int64 { return w.count }
+
+// Pad fills the remainder of the current page with zero records so the
+// next Append starts on a fresh page. COLE's index files pad each model
+// layer to a page boundary (Algorithm 3 builds the index layer by layer,
+// with the top layer occupying exactly the last page).
+func (w *Writer) Pad() error {
+	if w.closed {
+		return fmt.Errorf("pagefile: pad on finished writer %s", w.path)
+	}
+	if w.inPage == 0 {
+		return nil
+	}
+	// Zero the padding slots explicitly: the page buffer is reused across
+	// pages and flushPage only zeroes past w.inPage.
+	for i := w.inPage * w.recSize; i < w.pageSize; i++ {
+		w.page[i] = 0
+	}
+	w.count += int64(w.perPage - w.inPage)
+	w.inPage = w.perPage
+	return w.flushPage()
+}
+
+// Finish flushes the trailing partial page, syncs and closes the file.
+func (w *Writer) Finish() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.flushPage(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Abort closes and removes a partially written file.
+func (w *Writer) Abort() {
+	if !w.closed {
+		w.closed = true
+		w.f.Close()
+	}
+	os.Remove(w.path)
+}
+
+// File reads records from a page-padded file through an LRU page cache.
+// It is safe for concurrent readers.
+type File struct {
+	f        *os.File
+	path     string
+	pageSize int
+	recSize  int
+	perPage  int
+	count    int64
+
+	mu    sync.Mutex
+	cache *lruCache
+
+	pageReads atomic.Int64
+	cacheHits atomic.Int64
+}
+
+// Open opens a record file for reading. count is the number of records (the
+// run metadata records it; the file itself is page-padded so its size alone
+// is ambiguous). cachePages bounds the per-file page cache (≥1).
+func Open(path string, pageSize, recSize int, count int64, cachePages int) (*File, error) {
+	if PerPage(pageSize, recSize) < 1 {
+		return nil, fmt.Errorf("pagefile: record size %d does not fit page size %d", recSize, pageSize)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	perPage := PerPage(pageSize, recSize)
+	needPages := (count + int64(perPage) - 1) / int64(perPage)
+	if st.Size() < needPages*int64(pageSize) {
+		f.Close()
+		return nil, fmt.Errorf("pagefile: %s has %d bytes, need %d for %d records", path, st.Size(), needPages*int64(pageSize), count)
+	}
+	if cachePages < 1 {
+		cachePages = 1
+	}
+	return &File{
+		f:        f,
+		path:     path,
+		pageSize: pageSize,
+		recSize:  recSize,
+		perPage:  perPage,
+		count:    count,
+		cache:    newLRUCache(cachePages),
+	}, nil
+}
+
+// Count returns the number of records in the file.
+func (r *File) Count() int64 { return r.count }
+
+// PerPage returns records per page.
+func (r *File) PerPage() int { return r.perPage }
+
+// NumPages returns the number of pages holding records.
+func (r *File) NumPages() int64 {
+	return (r.count + int64(r.perPage) - 1) / int64(r.perPage)
+}
+
+// PageOf returns the page index containing record i.
+func (r *File) PageOf(i int64) int64 { return i / int64(r.perPage) }
+
+// PageBounds returns the half-open record-index range [lo, hi) stored on a
+// page.
+func (r *File) PageBounds(page int64) (lo, hi int64) {
+	lo = page * int64(r.perPage)
+	hi = lo + int64(r.perPage)
+	if hi > r.count {
+		hi = r.count
+	}
+	return lo, hi
+}
+
+// page returns the cached contents of a page, reading it if necessary.
+func (r *File) pageData(page int64) ([]byte, error) {
+	if page < 0 || page >= r.NumPages() {
+		return nil, fmt.Errorf("pagefile: page %d out of range [0,%d) in %s", page, r.NumPages(), r.path)
+	}
+	r.mu.Lock()
+	if data, ok := r.cache.get(page); ok {
+		r.mu.Unlock()
+		r.cacheHits.Add(1)
+		return data, nil
+	}
+	r.mu.Unlock()
+
+	data := make([]byte, r.pageSize)
+	if _, err := r.f.ReadAt(data, page*int64(r.pageSize)); err != nil {
+		return nil, fmt.Errorf("pagefile: read page %d of %s: %w", page, r.path, err)
+	}
+	r.pageReads.Add(1)
+
+	r.mu.Lock()
+	r.cache.put(page, data)
+	r.mu.Unlock()
+	return data, nil
+}
+
+// Record copies record i into dst (len ≥ recSize) and returns dst[:recSize].
+func (r *File) Record(i int64, dst []byte) ([]byte, error) {
+	if i < 0 || i >= r.count {
+		return nil, fmt.Errorf("pagefile: record %d out of range [0,%d) in %s", i, r.count, r.path)
+	}
+	data, err := r.pageData(r.PageOf(i))
+	if err != nil {
+		return nil, err
+	}
+	off := int(i%int64(r.perPage)) * r.recSize
+	n := copy(dst, data[off:off+r.recSize])
+	return dst[:n], nil
+}
+
+// PageRecords returns the raw records of a page as a single byte slice of
+// length numRecords*recSize (a view of the cached page; callers must not
+// mutate it).
+func (r *File) PageRecords(page int64) ([]byte, int, error) {
+	data, err := r.pageData(page)
+	if err != nil {
+		return nil, 0, err
+	}
+	lo, hi := r.PageBounds(page)
+	n := int(hi - lo)
+	return data[:n*r.recSize], n, nil
+}
+
+// Stats returns cumulative IO counters.
+func (r *File) Stats() IOStats {
+	return IOStats{PageReads: r.pageReads.Load(), CacheHits: r.cacheHits.Load()}
+}
+
+// Close releases the file handle.
+func (r *File) Close() error { return r.f.Close() }
+
+// Path returns the underlying file path.
+func (r *File) Path() string { return r.path }
+
+// lruCache is a minimal LRU keyed by page number.
+type lruCache struct {
+	cap   int
+	items map[int64]*lruNode
+	head  *lruNode // most recent
+	tail  *lruNode // least recent
+}
+
+type lruNode struct {
+	key        int64
+	data       []byte
+	prev, next *lruNode
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, items: make(map[int64]*lruNode, capacity)}
+}
+
+func (c *lruCache) get(key int64) ([]byte, bool) {
+	n, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.moveFront(n)
+	return n.data, true
+}
+
+func (c *lruCache) put(key int64, data []byte) {
+	if n, ok := c.items[key]; ok {
+		n.data = data
+		c.moveFront(n)
+		return
+	}
+	n := &lruNode{key: key, data: data}
+	c.items[key] = n
+	c.pushFront(n)
+	if len(c.items) > c.cap {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.items, evict.key)
+	}
+}
+
+func (c *lruCache) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *lruCache) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *lruCache) moveFront(n *lruNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

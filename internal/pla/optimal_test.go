@@ -1,0 +1,218 @@
+package pla
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cole/internal/types"
+)
+
+func buildOptimal(t *testing.T, eps int, keys []types.CompoundKey) []Model {
+	t.Helper()
+	var models []Model
+	b, err := NewOptimalBuilder(eps, func(m Model) error { models = append(models, m); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if err := b.Add(k, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Total() != int64(len(keys)) {
+		t.Fatalf("Total = %d, want %d", b.Total(), len(keys))
+	}
+	if b.Models() != int64(len(models)) {
+		t.Fatalf("Models = %d, emitted %d", b.Models(), len(models))
+	}
+	return models
+}
+
+func TestOptimalLinearStreamOneModel(t *testing.T) {
+	keys := seqKeys(21, 10000)
+	models := buildOptimal(t, 34, keys)
+	if len(models) != 1 {
+		t.Fatalf("linear data needs 1 model, got %d", len(models))
+	}
+	checkBound(t, 34, keys, models)
+}
+
+func TestOptimalBoundHolds(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	var keys []types.CompoundKey
+	for a := 0; a < 400; a++ {
+		addr := types.AddressFromUint64(uint64(a))
+		blk := uint64(r.Intn(50))
+		for v := 0; v < 1+r.Intn(6); v++ {
+			keys = append(keys, types.CompoundKey{Addr: addr, Blk: blk})
+			blk += 1 + uint64(r.Intn(30))
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	for _, eps := range []int{1, 4, 34} {
+		models := buildOptimal(t, eps, keys)
+		checkBound(t, eps, keys, models)
+	}
+}
+
+func TestOptimalNeverWorseThanGreedy(t *testing.T) {
+	// The optimal algorithm's whole point: fewer or equal segments for the
+	// same ε on the same stream.
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		var keys []types.CompoundKey
+		a := types.AddressFromUint64(uint64(trial))
+		blk := uint64(0)
+		for i := 0; i < 5000; i++ {
+			blk += 1 + uint64(r.Intn(20))
+			keys = append(keys, types.CompoundKey{Addr: a, Blk: blk})
+		}
+		greedy := buildAll(t, 8, keys)
+		optimal := buildOptimal(t, 8, keys)
+		if len(optimal) > len(greedy) {
+			t.Fatalf("trial %d: optimal %d segments > greedy %d", trial, len(optimal), len(greedy))
+		}
+		checkBound(t, 8, keys, optimal)
+	}
+}
+
+func TestOptimalSinglePointAndEmpty(t *testing.T) {
+	models := buildOptimal(t, 34, seqKeys(22, 1))
+	if len(models) != 1 || models[0].Predict(seqKeys(22, 1)[0]) != 0 {
+		t.Fatalf("single point: %+v", models)
+	}
+	if got := buildOptimal(t, 34, nil); len(got) != 0 {
+		t.Fatal("empty stream must emit nothing")
+	}
+}
+
+func TestOptimalRejectsDisorder(t *testing.T) {
+	b, _ := NewOptimalBuilder(8, func(Model) error { return nil })
+	a := types.AddressFromUint64(1)
+	_ = b.Add(types.CompoundKey{Addr: a, Blk: 10}, 0)
+	if err := b.Add(types.CompoundKey{Addr: a, Blk: 10}, 1); err == nil {
+		t.Fatal("duplicate key must be rejected")
+	}
+	if _, err := NewOptimalBuilder(0, func(Model) error { return nil }); err == nil {
+		t.Fatal("eps 0 must be rejected")
+	}
+}
+
+func TestOptimalFloatCollapsedDeltasSplit(t *testing.T) {
+	var base types.Address
+	keys := []types.CompoundKey{{Addr: base, Blk: 0}}
+	var far types.Address
+	far[0] = 0x80
+	for i := 0; i < 100; i++ {
+		keys = append(keys, types.CompoundKey{Addr: far, Blk: uint64(i)})
+	}
+	models := buildOptimal(t, 5, keys)
+	checkBound(t, 5, keys, models)
+}
+
+func TestOptimalBoundProperty(t *testing.T) {
+	f := func(seed int64, rawEps uint8, nAddrs uint8) bool {
+		eps := int(rawEps%64) + 1
+		na := int(nAddrs%20) + 1
+		r := rand.New(rand.NewSource(seed))
+		keySet := make(map[types.CompoundKey]bool)
+		for a := 0; a < na; a++ {
+			addr := types.AddressFromUint64(r.Uint64() % 1000)
+			for v := 0; v < 1+r.Intn(30); v++ {
+				keySet[types.CompoundKey{Addr: addr, Blk: r.Uint64() % 10000}] = true
+			}
+		}
+		keys := make([]types.CompoundKey, 0, len(keySet))
+		for k := range keySet {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+
+		var models []Model
+		b, err := NewOptimalBuilder(eps, func(m Model) error { models = append(models, m); return nil })
+		if err != nil {
+			return false
+		}
+		for i, k := range keys {
+			if err := b.Add(k, int64(i)); err != nil {
+				return false
+			}
+		}
+		if err := b.Finish(); err != nil {
+			return false
+		}
+		for i, k := range keys {
+			m := coveringModel(models, k)
+			if d := m.Predict(k) - int64(i); d > int64(eps) || d < -int64(eps) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalVsGreedyEquivalentQueries(t *testing.T) {
+	// Both builders must produce indexes that answer the same predecessor
+	// queries (through the covering-model + Predict path).
+	r := rand.New(rand.NewSource(77))
+	a := types.AddressFromUint64(3)
+	var keys []types.CompoundKey
+	blk := uint64(0)
+	for i := 0; i < 3000; i++ {
+		blk += 1 + uint64(r.Intn(15))
+		keys = append(keys, types.CompoundKey{Addr: a, Blk: blk})
+	}
+	greedy := buildAll(t, 16, keys)
+	optimal := buildOptimal(t, 16, keys)
+	for trial := 0; trial < 500; trial++ {
+		q := types.CompoundKey{Addr: a, Blk: uint64(r.Intn(int(blk)))}
+		for _, models := range [][]Model{greedy, optimal} {
+			m := coveringModel(models, q)
+			pred := m.Predict(q)
+			// True predecessor rank:
+			idx := sort.Search(len(keys), func(i int) bool { return q.Less(keys[i]) }) - 1
+			if idx < 0 {
+				continue
+			}
+			if d := pred - int64(idx); d > 16+1 || d < -(16+1) {
+				t.Fatalf("prediction off by %d for query between trained keys", d)
+			}
+		}
+	}
+}
+
+func TestOptimalNeverWorseThanGreedyMultiAddress(t *testing.T) {
+	// Regression: same-address version clusters collapse to one float64 x
+	// far from the anchor; they must tighten the vertical window, not
+	// split the segment (an early implementation split on every one).
+	r := rand.New(rand.NewSource(9))
+	var keys []types.CompoundKey
+	seen := map[types.CompoundKey]bool{}
+	for len(keys) < 5000 {
+		addr := types.AddressFromUint64(r.Uint64() % 1250)
+		blk := uint64(r.Intn(64))
+		for v := 0; v < 1+r.Intn(8) && len(keys) < 5000; v++ {
+			k := types.CompoundKey{Addr: addr, Blk: blk}
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+			blk += 1 + uint64(r.Intn(16))
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	greedy := buildAll(t, 34, keys)
+	optimal := buildOptimal(t, 34, keys)
+	if len(optimal) > len(greedy) {
+		t.Fatalf("optimal %d segments > greedy %d on multi-address stream", len(optimal), len(greedy))
+	}
+	checkBound(t, 34, keys, optimal)
+}

@@ -1,0 +1,629 @@
+// Package run implements COLE's on-disk sorted runs (§3.2, §4).
+//
+// A run is an immutable triple of files plus metadata:
+//
+//   - value file: compound key-value pairs sorted by key (60-byte records,
+//     page-padded);
+//   - index file: the disk-optimized learned index — layers of ε-bounded
+//     models built bottom-up (Algorithm 3), each layer page-aligned so the
+//     top layer is exactly the last page;
+//   - Merkle file: the m-ary complete MHT over the value entries
+//     (Algorithm 4), sharing positions with the value file;
+//   - metadata: entry count, layer geometry, MHT root, and the serialized
+//     address Bloom filter. The run digest H(mht_root ‖ bloom_digest)
+//     participates in root_hash_list, authenticating both data and filter.
+//
+// All three files are written in a single streaming pass over a sorted
+// entry iterator (the L0 flush or a level sort-merge), then never modified:
+// "the index file remains valid from its construction until the next level
+// merge" (§4.1).
+package run
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cole/internal/bloom"
+	"cole/internal/mht"
+	"cole/internal/pagefile"
+	"cole/internal/pla"
+	"cole/internal/types"
+)
+
+// Iterator yields entries in strictly increasing key order.
+type Iterator interface {
+	// Next returns the next entry; ok is false when exhausted.
+	Next() (e types.Entry, ok bool)
+}
+
+// SliceIterator adapts a sorted entry slice.
+type SliceIterator struct {
+	entries []types.Entry
+	i       int
+}
+
+// NewSliceIterator wraps a sorted slice.
+func NewSliceIterator(entries []types.Entry) *SliceIterator {
+	return &SliceIterator{entries: entries}
+}
+
+// Next implements Iterator.
+func (s *SliceIterator) Next() (types.Entry, bool) {
+	if s.i >= len(s.entries) {
+		return types.Entry{}, false
+	}
+	e := s.entries[s.i]
+	s.i++
+	return e, true
+}
+
+// Params configures run construction and opening.
+type Params struct {
+	PageSize   int     // disk page size (pagefile.DefaultPageSize if 0)
+	Fanout     int     // MHT fanout m (must be ≥ 2)
+	BloomFP    float64 // bloom false-positive target (0.01 if 0)
+	CachePages int     // per-file page cache (16 if 0)
+	// OptimalPLA selects the exact convex-hull segment construction
+	// (pla.OptimalBuilder) instead of the default greedy cone: fewer
+	// models per run at a higher build cost. Both produce identical
+	// on-disk formats, so the flag only matters at build time.
+	OptimalPLA bool
+}
+
+// segmentBuilder abstracts the two PLA constructions.
+type segmentBuilder interface {
+	Add(k types.CompoundKey, pos int64) error
+	Finish() error
+}
+
+func newSegmentBuilder(optimal bool, eps int, emit func(pla.Model) error) (segmentBuilder, error) {
+	if optimal {
+		return pla.NewOptimalBuilder(eps, emit)
+	}
+	return pla.NewBuilder(eps, emit)
+}
+
+func (p Params) withDefaults() Params {
+	if p.PageSize == 0 {
+		p.PageSize = pagefile.DefaultPageSize
+	}
+	if p.BloomFP == 0 {
+		p.BloomFP = 0.01
+	}
+	if p.CachePages == 0 {
+		p.CachePages = 16
+	}
+	return p
+}
+
+// layerMeta records the page-aligned placement of one model layer.
+type layerMeta struct {
+	StartPage int64 // first page of the layer in the index file
+	Pages     int64 // pages occupied
+	Models    int64 // model records in the layer
+}
+
+// Run is an open, immutable sorted run.
+type Run struct {
+	ID     uint64
+	dir    string
+	params Params
+
+	count   int64
+	layers  []layerMeta
+	mhtRoot types.Hash
+	filter  *bloom.Filter
+	minKey  types.CompoundKey
+	maxKey  types.CompoundKey
+
+	values *pagefile.File
+	index  *pagefile.File
+	merkle *mht.File
+}
+
+func baseName(id uint64) string { return fmt.Sprintf("run-%016x", id) }
+
+func valuePath(dir string, id uint64) string  { return filepath.Join(dir, baseName(id)+".val") }
+func indexPath(dir string, id uint64) string  { return filepath.Join(dir, baseName(id)+".idx") }
+func merklePath(dir string, id uint64) string { return filepath.Join(dir, baseName(id)+".mrk") }
+func metaPath(dir string, id uint64) string   { return filepath.Join(dir, baseName(id)+".met") }
+
+// Files returns the four file names a run with the given id occupies
+// (used by the engine's orphan cleanup).
+func Files(id uint64) []string {
+	return []string{
+		baseName(id) + ".val",
+		baseName(id) + ".idx",
+		baseName(id) + ".mrk",
+		baseName(id) + ".met",
+	}
+}
+
+// Build streams a sorted iterator into a new run. count must equal the
+// number of entries the iterator yields.
+func Build(dir string, id uint64, count int64, params Params, src Iterator) (*Run, error) {
+	params = params.withDefaults()
+	if params.Fanout < 2 {
+		return nil, fmt.Errorf("run: MHT fanout %d < 2", params.Fanout)
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("run: empty runs are not built (count=%d)", count)
+	}
+
+	valW, err := pagefile.CreateWriter(valuePath(dir, id), params.PageSize, types.EntrySize)
+	if err != nil {
+		return nil, err
+	}
+	idxW, err := pagefile.CreateWriter(indexPath(dir, id), params.PageSize, pla.ModelSize)
+	if err != nil {
+		valW.Abort()
+		return nil, err
+	}
+	mrkW, err := mht.CreateWriter(merklePath(dir, id), count, params.Fanout)
+	if err != nil {
+		valW.Abort()
+		idxW.Abort()
+		return nil, err
+	}
+	abort := func() {
+		valW.Abort()
+		idxW.Abort()
+		mrkW.Abort()
+		os.Remove(metaPath(dir, id))
+	}
+
+	filter := bloom.New(int(count), params.BloomFP)
+	epsVal := pagefile.Epsilon(params.PageSize, types.EntrySize)
+	epsIdx := pagefile.Epsilon(params.PageSize, pla.ModelSize)
+	modelsPerPage := pagefile.PerPage(params.PageSize, pla.ModelSize)
+
+	// Bottom model layer: learn over (key, value-file position). Collect
+	// each emitted model's (kmin, index-file position) to drive the upper
+	// layers — O(#models) memory, a tiny fraction of the data.
+	var (
+		kmins    []types.CompoundKey
+		seen     int64
+		minKey   types.CompoundKey
+		maxKey   types.CompoundKey
+		modelBuf = make([]byte, pla.ModelSize)
+	)
+	writeModel := func(m pla.Model) error {
+		m.Encode(modelBuf)
+		kmins = append(kmins, m.KMin)
+		return idxW.Append(modelBuf)
+	}
+	builder, err := newSegmentBuilder(params.OptimalPLA, epsVal, writeModel)
+	if err != nil {
+		abort()
+		return nil, err
+	}
+
+	entryBuf := make([]byte, types.EntrySize)
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		if seen == 0 {
+			minKey = e.Key
+		}
+		maxKey = e.Key
+		types.EncodeEntry(entryBuf, e)
+		if err := valW.Append(entryBuf); err != nil {
+			abort()
+			return nil, err
+		}
+		if err := builder.Add(e.Key, seen); err != nil {
+			abort()
+			return nil, err
+		}
+		if err := mrkW.Add(types.HashEntry(e)); err != nil {
+			abort()
+			return nil, err
+		}
+		filter.Add(e.Key.Addr)
+		seen++
+	}
+	if seen != count {
+		abort()
+		return nil, fmt.Errorf("run: iterator yielded %d entries, expected %d", seen, count)
+	}
+	if err := builder.Finish(); err != nil {
+		abort()
+		return nil, err
+	}
+
+	// Upper layers (Algorithm 3): each layer is page-aligned; recurse until
+	// a layer fits in one page. Model positions are global index-file
+	// record slots (page · modelsPerPage + slot), so predictions divide
+	// directly into page numbers.
+	var layers []layerMeta
+	layerStartPage := int64(0)
+	layerModels := int64(len(kmins))
+	for {
+		pages := (layerModels + int64(modelsPerPage) - 1) / int64(modelsPerPage)
+		layers = append(layers, layerMeta{StartPage: layerStartPage, Pages: pages, Models: layerModels})
+		if err := idxW.Pad(); err != nil {
+			abort()
+			return nil, err
+		}
+		if pages <= 1 {
+			break
+		}
+		nextStart := layerStartPage + pages
+		prev := kmins
+		kmins = kmins[:0:0]
+		ub, err := newSegmentBuilder(params.OptimalPLA, epsIdx, writeModel)
+		if err != nil {
+			abort()
+			return nil, err
+		}
+		for j, k := range prev {
+			// Global record slot of lower-layer model j.
+			pos := (layerStartPage+int64(j)/int64(modelsPerPage))*int64(modelsPerPage) + int64(j)%int64(modelsPerPage)
+			if err := ub.Add(k, pos); err != nil {
+				abort()
+				return nil, err
+			}
+		}
+		if err := ub.Finish(); err != nil {
+			abort()
+			return nil, err
+		}
+		layerStartPage = nextStart
+		layerModels = int64(len(kmins))
+	}
+	if err := idxW.Finish(); err != nil {
+		abort()
+		return nil, err
+	}
+	if err := valW.Finish(); err != nil {
+		abort()
+		return nil, err
+	}
+	root, err := mrkW.Finish()
+	if err != nil {
+		abort()
+		return nil, err
+	}
+
+	meta := runMeta{
+		Count:  count,
+		Fanout: params.Fanout,
+		Layers: layers,
+		Root:   root,
+		Bloom:  filter.Marshal(),
+		MinKey: minKey,
+		MaxKey: maxKey,
+		PageSz: params.PageSize,
+	}
+	if err := writeMeta(metaPath(dir, id), meta); err != nil {
+		abort()
+		return nil, err
+	}
+	return Open(dir, id, params)
+}
+
+// Open maps an existing run.
+func Open(dir string, id uint64, params Params) (*Run, error) {
+	params = params.withDefaults()
+	meta, err := readMeta(metaPath(dir, id))
+	if err != nil {
+		return nil, err
+	}
+	if params.Fanout == 0 {
+		params.Fanout = meta.Fanout
+	}
+	if meta.Fanout != params.Fanout {
+		return nil, fmt.Errorf("run %d: fanout %d on disk, %d requested", id, meta.Fanout, params.Fanout)
+	}
+	if meta.PageSz != params.PageSize {
+		return nil, fmt.Errorf("run %d: page size %d on disk, %d requested", id, meta.PageSz, params.PageSize)
+	}
+	filter, err := bloom.Unmarshal(meta.Bloom)
+	if err != nil {
+		return nil, fmt.Errorf("run %d: %w", id, err)
+	}
+	values, err := pagefile.Open(valuePath(dir, id), params.PageSize, types.EntrySize, meta.Count, params.CachePages)
+	if err != nil {
+		return nil, err
+	}
+	totalModels := int64(0)
+	lastLayer := meta.Layers[len(meta.Layers)-1]
+	totalModels = (lastLayer.StartPage)*int64(pagefile.PerPage(params.PageSize, pla.ModelSize)) + lastLayer.Models
+	index, err := pagefile.Open(indexPath(dir, id), params.PageSize, pla.ModelSize, totalModels, params.CachePages)
+	if err != nil {
+		values.Close()
+		return nil, err
+	}
+	merkle, err := mht.Open(merklePath(dir, id), meta.Count, meta.Fanout)
+	if err != nil {
+		values.Close()
+		index.Close()
+		return nil, err
+	}
+	return &Run{
+		ID:      id,
+		dir:     dir,
+		params:  params,
+		count:   meta.Count,
+		layers:  meta.Layers,
+		mhtRoot: meta.Root,
+		filter:  filter,
+		minKey:  meta.MinKey,
+		maxKey:  meta.MaxKey,
+		values:  values,
+		index:   index,
+		merkle:  merkle,
+	}, nil
+}
+
+// Count returns the number of entries.
+func (r *Run) Count() int64 { return r.count }
+
+// MHTRoot returns the Merkle file root hash.
+func (r *Run) MHTRoot() types.Hash { return r.mhtRoot }
+
+// BloomDigest returns the digest of the serialized Bloom filter.
+func (r *Run) BloomDigest() types.Hash { return r.filter.Digest() }
+
+// BloomBytes returns the serialized Bloom filter (for non-membership
+// proofs).
+func (r *Run) BloomBytes() []byte { return r.filter.Marshal() }
+
+// Digest returns the run's contribution to root_hash_list:
+// H(mht_root ‖ bloom_digest), binding both data and filter (§4).
+func (r *Run) Digest() types.Hash {
+	bd := r.filter.Digest()
+	return types.HashData(r.mhtRoot[:], bd[:])
+}
+
+// Digest recomputes a run digest from its components (verifier side).
+func Digest(mhtRoot types.Hash, bloomBytes []byte) types.Hash {
+	bd := types.HashData(bloomBytes)
+	return types.HashData(mhtRoot[:], bd[:])
+}
+
+// MinKey returns the smallest stored key.
+func (r *Run) MinKey() types.CompoundKey { return r.minKey }
+
+// MaxKey returns the largest stored key.
+func (r *Run) MaxKey() types.CompoundKey { return r.maxKey }
+
+// Layers returns the number of learned-index layers.
+func (r *Run) Layers() int { return len(r.layers) }
+
+// Models returns the total number of learned models across layers.
+func (r *Run) Models() int64 {
+	var t int64
+	for _, l := range r.layers {
+		t += l.Models
+	}
+	return t
+}
+
+// Iter returns a sequential iterator over the run's entries in key order
+// (used by level sort-merges). Read errors surface through Err.
+func (r *Run) Iter() *RunIterator { return &RunIterator{r: r} }
+
+// RunIterator streams a run's entries.
+type RunIterator struct {
+	r   *Run
+	pos int64
+	err error
+}
+
+// Next implements Iterator.
+func (it *RunIterator) Next() (types.Entry, bool) {
+	if it.err != nil || it.pos >= it.r.count {
+		return types.Entry{}, false
+	}
+	e, err := it.r.EntryAt(it.pos)
+	if err != nil {
+		it.err = err
+		return types.Entry{}, false
+	}
+	it.pos++
+	return e, true
+}
+
+// Err reports a read failure that terminated the iterator early.
+func (it *RunIterator) Err() error { return it.err }
+
+// EntryAt reads the entry at a value-file position.
+func (r *Run) EntryAt(pos int64) (types.Entry, error) {
+	var buf [types.EntrySize]byte
+	rec, err := r.values.Record(pos, buf[:])
+	if err != nil {
+		return types.Entry{}, err
+	}
+	return types.DecodeEntry(rec)
+}
+
+// ProveRange builds an MHT range proof over value-file positions [lo, hi].
+func (r *Run) ProveRange(lo, hi int64) (*mht.RangeProof, error) {
+	return r.merkle.ProveRange(lo, hi)
+}
+
+// IOStats reports cumulative page reads on the value and index files.
+func (r *Run) IOStats() (value, index pagefile.IOStats) {
+	return r.values.Stats(), r.index.Stats()
+}
+
+// Close releases all file handles.
+func (r *Run) Close() error {
+	err1 := r.values.Close()
+	err2 := r.index.Close()
+	err3 := r.merkle.Close()
+	if err1 != nil {
+		return err1
+	}
+	if err2 != nil {
+		return err2
+	}
+	return err3
+}
+
+// Remove closes the run and deletes its files (level-merge cleanup).
+func (r *Run) Remove() error {
+	r.Close()
+	var firstErr error
+	for _, p := range []string{
+		valuePath(r.dir, r.ID), indexPath(r.dir, r.ID),
+		merklePath(r.dir, r.ID), metaPath(r.dir, r.ID),
+	} {
+		if err := os.Remove(p); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// SizeOnDisk sums the byte size of the run's files, split into value-file
+// bytes ("data") and index+merkle+meta bytes ("index") for the storage
+// breakdown experiments.
+func (r *Run) SizeOnDisk() (data, index int64) {
+	if st, err := os.Stat(valuePath(r.dir, r.ID)); err == nil {
+		data = st.Size()
+	}
+	for _, p := range []string{indexPath(r.dir, r.ID), merklePath(r.dir, r.ID), metaPath(r.dir, r.ID)} {
+		if st, err := os.Stat(p); err == nil {
+			index += st.Size()
+		}
+	}
+	return data, index
+}
+
+// ---- metadata encoding ----
+
+type runMeta struct {
+	Count  int64
+	Fanout int
+	PageSz int
+	Layers []layerMeta
+	Root   types.Hash
+	Bloom  []byte
+	MinKey types.CompoundKey
+	MaxKey types.CompoundKey
+}
+
+func writeMeta(path string, m runMeta) error {
+	buf := make([]byte, 0, 128+len(m.Bloom))
+	var scratch [8]byte
+	putU64 := func(v uint64) {
+		binary.BigEndian.PutUint64(scratch[:], v)
+		buf = append(buf, scratch[:]...)
+	}
+	putU64(uint64(m.Count))
+	putU64(uint64(m.Fanout))
+	putU64(uint64(m.PageSz))
+	putU64(uint64(len(m.Layers)))
+	for _, l := range m.Layers {
+		putU64(uint64(l.StartPage))
+		putU64(uint64(l.Pages))
+		putU64(uint64(l.Models))
+	}
+	buf = append(buf, m.Root[:]...)
+	buf = append(buf, m.MinKey.Bytes()...)
+	buf = append(buf, m.MaxKey.Bytes()...)
+	putU64(uint64(len(m.Bloom)))
+	buf = append(buf, m.Bloom...)
+	sum := types.HashData(buf)
+	buf = append(buf, sum[:]...)
+
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readMeta(path string) (runMeta, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return runMeta{}, err
+	}
+	if len(raw) < types.HashSize {
+		return runMeta{}, fmt.Errorf("run: meta %s truncated", path)
+	}
+	body, sum := raw[:len(raw)-types.HashSize], raw[len(raw)-types.HashSize:]
+	check := types.HashData(body)
+	if string(check[:]) != string(sum) {
+		return runMeta{}, fmt.Errorf("run: meta %s checksum mismatch", path)
+	}
+	var m runMeta
+	off := 0
+	getU64 := func() (uint64, error) {
+		if off+8 > len(body) {
+			return 0, fmt.Errorf("run: meta %s too short", path)
+		}
+		v := binary.BigEndian.Uint64(body[off:])
+		off += 8
+		return v, nil
+	}
+	var v uint64
+	if v, err = getU64(); err != nil {
+		return runMeta{}, err
+	}
+	m.Count = int64(v)
+	if v, err = getU64(); err != nil {
+		return runMeta{}, err
+	}
+	m.Fanout = int(v)
+	if v, err = getU64(); err != nil {
+		return runMeta{}, err
+	}
+	m.PageSz = int(v)
+	nLayers, err := getU64()
+	if err != nil {
+		return runMeta{}, err
+	}
+	if nLayers == 0 || nLayers > 64 {
+		return runMeta{}, fmt.Errorf("run: meta %s has %d layers", path, nLayers)
+	}
+	for i := uint64(0); i < nLayers; i++ {
+		var l layerMeta
+		if v, err = getU64(); err != nil {
+			return runMeta{}, err
+		}
+		l.StartPage = int64(v)
+		if v, err = getU64(); err != nil {
+			return runMeta{}, err
+		}
+		l.Pages = int64(v)
+		if v, err = getU64(); err != nil {
+			return runMeta{}, err
+		}
+		l.Models = int64(v)
+		m.Layers = append(m.Layers, l)
+	}
+	need := types.HashSize + 2*types.CompoundKeySize
+	if off+need > len(body) {
+		return runMeta{}, fmt.Errorf("run: meta %s too short", path)
+	}
+	copy(m.Root[:], body[off:])
+	off += types.HashSize
+	k, err := types.DecodeCompoundKey(body[off:])
+	if err != nil {
+		return runMeta{}, err
+	}
+	m.MinKey = k
+	off += types.CompoundKeySize
+	k, err = types.DecodeCompoundKey(body[off:])
+	if err != nil {
+		return runMeta{}, err
+	}
+	m.MaxKey = k
+	off += types.CompoundKeySize
+	blen, err := getU64()
+	if err != nil {
+		return runMeta{}, err
+	}
+	if off+int(blen) > len(body) {
+		return runMeta{}, fmt.Errorf("run: meta %s bloom truncated", path)
+	}
+	m.Bloom = append([]byte(nil), body[off:off+int(blen)]...)
+	return m, nil
+}

@@ -1,0 +1,391 @@
+package run
+
+import (
+	"fmt"
+
+	"cole/internal/mht"
+	"cole/internal/pla"
+	"cole/internal/types"
+)
+
+// Get searches the run for the latest version of addr (Algorithm 7 with
+// Kq = ⟨addr, max_int⟩). skipped reports a Bloom-filter miss (the run was
+// not touched). found reports whether any version of addr exists here.
+func (r *Run) Get(addr types.Address) (e types.Entry, pos int64, found, skipped bool, err error) {
+	if !r.filter.MayContain(addr) {
+		return types.Entry{}, 0, false, true, nil
+	}
+	e, pos, ok, err := r.predecessor(types.MaxKeyFor(addr))
+	if err != nil || !ok || e.Key.Addr != addr {
+		return types.Entry{}, 0, false, false, err
+	}
+	return e, pos, true, false, nil
+}
+
+// GetAt searches the run for the version of addr active at block height
+// blk (the newest version with Key.Blk ≤ blk).
+func (r *Run) GetAt(addr types.Address, blk uint64) (e types.Entry, pos int64, found, skipped bool, err error) {
+	if !r.filter.MayContain(addr) {
+		return types.Entry{}, 0, false, true, nil
+	}
+	e, pos, ok, err := r.predecessor(types.CompoundKey{Addr: addr, Blk: blk})
+	if err != nil || !ok || e.Key.Addr != addr {
+		return types.Entry{}, 0, false, false, err
+	}
+	return e, pos, true, false, nil
+}
+
+// predecessor locates the entry with the largest key ≤ kq using the
+// learned index: binary search on the top-layer page, then model-guided
+// descent touching at most two or three pages per layer (Algorithm 7).
+func (r *Run) predecessor(kq types.CompoundKey) (types.Entry, int64, bool, error) {
+	if kq.Cmp(r.minKey) < 0 {
+		return types.Entry{}, 0, false, nil
+	}
+	perPage := int64(r.index.PerPage())
+
+	// Top layer: exactly one page.
+	top := r.layers[len(r.layers)-1]
+	data, valid, err := r.modelsPage(top, top.StartPage)
+	if err != nil {
+		return types.Entry{}, 0, false, err
+	}
+	model, _, ok := pla.SearchPage(data, valid, kq)
+	if !ok {
+		// kq ≥ minKey implies the first model covers it; defensive only.
+		return types.Entry{}, 0, false, nil
+	}
+
+	// Descend through the lower model layers.
+	for li := len(r.layers) - 1; li >= 1; li-- {
+		target := r.layers[li-1]
+		pred := model.Predict(kq) // global record slot in the index file
+		page := clamp(pred/perPage, target.StartPage, target.StartPage+target.Pages-1)
+		model, err = r.findModel(target, page, kq)
+		if err != nil {
+			return types.Entry{}, 0, false, err
+		}
+	}
+
+	// Bottom layer model → value file position.
+	pred := model.Predict(kq)
+	return r.findEntry(pred, kq)
+}
+
+// modelsPage reads an index page and returns its raw records plus the
+// number of valid models on it (layer padding slots are excluded).
+func (r *Run) modelsPage(layer layerMeta, page int64) ([]byte, int, error) {
+	data, _, err := r.index.PageRecords(page)
+	if err != nil {
+		return nil, 0, err
+	}
+	perPage := int64(r.index.PerPage())
+	valid := layer.Models - (page-layer.StartPage)*perPage
+	if valid > perPage {
+		valid = perPage
+	}
+	if valid < 1 {
+		return nil, 0, fmt.Errorf("run %d: page %d outside layer models", r.ID, page)
+	}
+	return data, int(valid), nil
+}
+
+// findModel locates the rightmost model with kmin ≤ kq near the predicted
+// page within a layer. The learned bound keeps the true model within one
+// page of the prediction, so at most two extra page reads occur.
+func (r *Run) findModel(layer layerMeta, page int64, kq types.CompoundKey) (pla.Model, error) {
+	first := layer.StartPage
+	last := layer.StartPage + layer.Pages - 1
+	data, valid, err := r.modelsPage(layer, page)
+	if err != nil {
+		return pla.Model{}, err
+	}
+	firstK, err := pla.FirstKMin(data, 0)
+	if err != nil {
+		return pla.Model{}, err
+	}
+	if kq.Less(firstK) {
+		if page == first {
+			return pla.Model{}, fmt.Errorf("run %d: key %v precedes layer start", r.ID, kq)
+		}
+		page--
+		data, valid, err = r.modelsPage(layer, page)
+		if err != nil {
+			return pla.Model{}, err
+		}
+	} else {
+		lastK, err := pla.FirstKMin(data, valid-1)
+		if err != nil {
+			return pla.Model{}, err
+		}
+		if lastK.Less(kq) && page < last {
+			// Predecessor may sit on the next page.
+			nData, nValid, err := r.modelsPage(layer, page+1)
+			if err != nil {
+				return pla.Model{}, err
+			}
+			nFirst, err := pla.FirstKMin(nData, 0)
+			if err != nil {
+				return pla.Model{}, err
+			}
+			if !kq.Less(nFirst) {
+				data, valid = nData, nValid
+			}
+		}
+	}
+	m, _, ok := pla.SearchPage(data, valid, kq)
+	if !ok {
+		return pla.Model{}, fmt.Errorf("run %d: model search missed for %v", r.ID, kq)
+	}
+	return m, nil
+}
+
+// findEntry locates the predecessor entry of kq near the predicted value
+// file position.
+func (r *Run) findEntry(pred int64, kq types.CompoundKey) (types.Entry, int64, bool, error) {
+	perPage := int64(r.values.PerPage())
+	page := clamp(pred/perPage, 0, r.values.NumPages()-1)
+
+	data, n, err := r.values.PageRecords(page)
+	if err != nil {
+		return types.Entry{}, 0, false, err
+	}
+	firstK, err := types.DecodeCompoundKey(data)
+	if err != nil {
+		return types.Entry{}, 0, false, err
+	}
+	if kq.Less(firstK) {
+		if page == 0 {
+			return types.Entry{}, 0, false, nil
+		}
+		page--
+		data, n, err = r.values.PageRecords(page)
+		if err != nil {
+			return types.Entry{}, 0, false, err
+		}
+	} else {
+		lastK, err := types.DecodeCompoundKey(data[(n-1)*types.EntrySize:])
+		if err != nil {
+			return types.Entry{}, 0, false, err
+		}
+		if lastK.Less(kq) && page < r.values.NumPages()-1 {
+			nData, nN, err := r.values.PageRecords(page + 1)
+			if err != nil {
+				return types.Entry{}, 0, false, err
+			}
+			nFirst, err := types.DecodeCompoundKey(nData)
+			if err != nil {
+				return types.Entry{}, 0, false, err
+			}
+			if !kq.Less(nFirst) {
+				data, n = nData, nN
+				page++
+			}
+		}
+	}
+	idx := predecessorInPage(data, n, kq)
+	if idx < 0 {
+		return types.Entry{}, 0, false, nil
+	}
+	e, err := types.DecodeEntry(data[idx*types.EntrySize:])
+	if err != nil {
+		return types.Entry{}, 0, false, err
+	}
+	lo, _ := r.values.PageBounds(page)
+	return e, lo + int64(idx), true, nil
+}
+
+// predecessorInPage returns the index of the rightmost entry with
+// key ≤ kq, or -1.
+func predecessorInPage(data []byte, n int, kq types.CompoundKey) int {
+	var kb [types.CompoundKeySize]byte
+	kq.PutBytes(kb[:])
+	lo, hi, found := 0, n-1, -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		off := mid * types.EntrySize
+		if cmpBytes(data[off:off+types.CompoundKeySize], kb[:]) <= 0 {
+			found = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return found
+}
+
+func cmpBytes(a, b []byte) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ProvResult is the per-run outcome of a provenance search (§6.2,
+// Algorithm 8): the matched versions, the authenticated contiguous span
+// that proves completeness, and the early-stop signal.
+type ProvResult struct {
+	// Results are the versions of the queried address with
+	// blkLo ≤ blk ≤ blkHi found in this run.
+	Results []types.Entry
+	// Span is the contiguous proven slice of the value file, including the
+	// boundary entries flanking the matches; SpanLo/SpanHi are its
+	// value-file positions.
+	Span           []types.Entry
+	SpanLo, SpanHi int64
+	// Proof authenticates Span against the run's MHT root.
+	Proof *mht.RangeProof
+	// BloomMiss is set when the Bloom filter excludes the address: the
+	// serialized filter (BloomBytes) stands in for the span as the
+	// non-membership proof.
+	BloomMiss bool
+	// StopEarly is set when the run holds a version of the address older
+	// than blkLo: deeper levels hold only older data and need not be
+	// searched (Algorithm 8 lines 19–21).
+	StopEarly bool
+}
+
+// ProvSearch finds the versions of addr within block heights
+// [blkLo, blkHi] and builds the Merkle evidence for them.
+func (r *Run) ProvSearch(addr types.Address, blkLo, blkHi uint64) (*ProvResult, error) {
+	if blkHi < blkLo {
+		return nil, fmt.Errorf("run: inverted block range [%d,%d]", blkLo, blkHi)
+	}
+	if !r.filter.MayContain(addr) {
+		return &ProvResult{BloomMiss: true}, nil
+	}
+	// Anchor at K_l = ⟨addr, blk_l − 1⟩ (the paper's boundary key): the
+	// span then starts at the newest version *older* than blk_l when one
+	// exists, which both proves left completeness and carries the
+	// early-stop evidence.
+	kl := types.ProvLowerKey(addr, blkLo)
+	ku := types.CompoundKey{Addr: addr, Blk: blkHi}
+
+	var spanLo int64
+	if _, pos, ok, err := r.predecessor(kl); err != nil {
+		return nil, err
+	} else if ok {
+		spanLo = pos
+	}
+
+	res := &ProvResult{SpanLo: spanLo}
+	pos := spanLo
+	for pos < r.count {
+		e, err := r.EntryAt(pos)
+		if err != nil {
+			return nil, err
+		}
+		res.Span = append(res.Span, e)
+		if e.Key.Addr == addr {
+			if e.Key.Blk >= blkLo && e.Key.Blk <= blkHi {
+				res.Results = append(res.Results, e)
+			}
+			if e.Key.Blk < blkLo {
+				res.StopEarly = true
+			}
+		}
+		if ku.Less(e.Key) {
+			// First entry beyond K_u: right completeness boundary.
+			break
+		}
+		pos++
+	}
+	if pos >= r.count {
+		pos = r.count - 1
+	}
+	res.SpanHi = pos
+	proof, err := r.ProveRange(res.SpanLo, res.SpanHi)
+	if err != nil {
+		return nil, err
+	}
+	res.Proof = proof
+	return res, nil
+}
+
+// ReconstructProv validates a per-run provenance result and reconstructs
+// the MHT root it authenticates against. It checks the span/proof
+// consistency and the completeness boundaries, and returns the
+// reconstructed root plus the verified in-range entries. The caller folds
+// the root into the run digest and matches it against root_hash_list.
+//
+// For a BloomMiss the caller instead verifies the disclosed filter bytes
+// against the digest and checks MayContain(addr) is false; see
+// core.VerifyProv.
+func ReconstructProv(addr types.Address, blkLo, blkHi uint64, res *ProvResult) (types.Hash, []types.Entry, error) {
+	if res.Proof == nil || len(res.Span) == 0 {
+		return types.Hash{}, nil, fmt.Errorf("run: provenance result missing span")
+	}
+	if res.SpanHi-res.SpanLo+1 != int64(len(res.Span)) {
+		return types.Hash{}, nil, fmt.Errorf("run: span positions [%d,%d] do not match %d entries", res.SpanLo, res.SpanHi, len(res.Span))
+	}
+	if res.Proof.Lo != res.SpanLo || res.Proof.Hi != res.SpanHi {
+		return types.Hash{}, nil, fmt.Errorf("run: proof range [%d,%d] does not match span [%d,%d]", res.Proof.Lo, res.Proof.Hi, res.SpanLo, res.SpanHi)
+	}
+	leaves := make([]types.Hash, len(res.Span))
+	for i, e := range res.Span {
+		leaves[i] = types.HashEntry(e)
+	}
+	root, err := mht.VerifyRange(res.Proof, leaves)
+	if err != nil {
+		return types.Hash{}, nil, err
+	}
+	// Keys must be strictly increasing (positions are sorted).
+	for i := 1; i < len(res.Span); i++ {
+		if res.Span[i].Key.Cmp(res.Span[i-1].Key) <= 0 {
+			return types.Hash{}, nil, fmt.Errorf("run: span entries out of order")
+		}
+	}
+	kl := types.CompoundKey{Addr: addr, Blk: blkLo}
+	ku := types.CompoundKey{Addr: addr, Blk: blkHi}
+	// Left completeness: nothing in range can precede the span.
+	if res.SpanLo != 0 && kl.Less(res.Span[0].Key) {
+		return types.Hash{}, nil, fmt.Errorf("run: span may omit results on the left")
+	}
+	// Right completeness: nothing in range can follow the span.
+	if res.SpanHi != res.Proof.N-1 && !ku.Less(res.Span[len(res.Span)-1].Key) {
+		return types.Hash{}, nil, fmt.Errorf("run: span may omit results on the right")
+	}
+	var out []types.Entry
+	for _, e := range res.Span {
+		if e.Key.Addr == addr && e.Key.Blk >= blkLo && e.Key.Blk <= blkHi {
+			out = append(out, e)
+		}
+	}
+	if len(out) != len(res.Results) {
+		return types.Hash{}, nil, fmt.Errorf("run: claimed %d results, span holds %d", len(res.Results), len(out))
+	}
+	for i := range out {
+		if out[i] != res.Results[i] {
+			return types.Hash{}, nil, fmt.Errorf("run: result %d does not match span", i)
+		}
+	}
+	return root, out, nil
+}
+
+// VerifyProv checks a per-run provenance result against a known MHT root
+// and returns the verified in-range entries.
+func VerifyProv(mhtRoot types.Hash, addr types.Address, blkLo, blkHi uint64, res *ProvResult) ([]types.Entry, error) {
+	root, out, err := ReconstructProv(addr, blkLo, blkHi, res)
+	if err != nil {
+		return nil, err
+	}
+	if root != mhtRoot {
+		return nil, fmt.Errorf("run: reconstructed MHT root mismatch")
+	}
+	return out, nil
+}

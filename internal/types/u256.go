@@ -1,0 +1,113 @@
+package types
+
+import (
+	"encoding/binary"
+	"math"
+	"math/big"
+	"math/bits"
+)
+
+// U256 is an unsigned 256-bit integer in four little-endian uint64 limbs.
+// Compound keys occupy only the low 224 bits (binary(addr)·2^64 + blk), so
+// U256 arithmetic over keys is exact. It replaces the paper's arbitrary-
+// precision `rug` integers (§3.2): the learned models take the *difference*
+// K − kmin of two U256 keys as their x coordinate.
+type U256 [4]uint64
+
+// U256FromKey converts a compound key to its big-integer form
+// binary(addr)·2^64 + blk.
+func U256FromKey(k CompoundKey) U256 {
+	var u U256
+	// addr occupies bits [64, 224): big-endian addr bytes are the most
+	// significant. addr[0..3] → high bits of limb 3 ... addr[16..19] → limb 1.
+	// Layout: limb0 = blk; limbs 1..3 hold the 160-bit address.
+	u[0] = k.Blk
+	// The 20 address bytes map to 2.5 limbs; treat addr as a 160-bit
+	// big-endian integer occupying bits [64, 224).
+	var pad [24]byte // 3 limbs big-endian
+	copy(pad[4:], k.Addr[:])
+	u[3] = binary.BigEndian.Uint64(pad[0:8])
+	u[2] = binary.BigEndian.Uint64(pad[8:16])
+	u[1] = binary.BigEndian.Uint64(pad[16:24])
+	return u
+}
+
+// Cmp returns -1, 0, or +1 comparing u and v numerically.
+func (u U256) Cmp(v U256) int {
+	for i := 3; i >= 0; i-- {
+		if u[i] < v[i] {
+			return -1
+		}
+		if u[i] > v[i] {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Sub returns u − v. The caller must ensure u ≥ v (keys are compared before
+// subtracting); underflow wraps like two's-complement, matching uint
+// semantics, and is guarded by tests.
+func (u U256) Sub(v U256) U256 {
+	var r U256
+	var borrow uint64
+	for i := 0; i < 4; i++ {
+		r[i], borrow = bits.Sub64(u[i], v[i], borrow)
+	}
+	return r
+}
+
+// Add returns u + v, wrapping on overflow.
+func (u U256) Add(v U256) U256 {
+	var r U256
+	var carry uint64
+	for i := 0; i < 4; i++ {
+		r[i], carry = bits.Add64(u[i], v[i], carry)
+	}
+	return r
+}
+
+// IsZero reports whether u == 0.
+func (u U256) IsZero() bool { return u[0]|u[1]|u[2]|u[3] == 0 }
+
+// Float64 converts u to the nearest float64. Values above 2^53 lose
+// precision, exactly as at query time: build and query use the same
+// conversion, so learned-model error bounds verified at build time hold at
+// query time.
+func (u U256) Float64() float64 {
+	f := 0.0
+	for i := 3; i >= 0; i-- {
+		f = f*18446744073709551616.0 + float64(u[i])
+	}
+	return f
+}
+
+// BitLen returns the number of bits in u's minimal representation.
+func (u U256) BitLen() int {
+	for i := 3; i >= 0; i-- {
+		if u[i] != 0 {
+			return i*64 + bits.Len64(u[i])
+		}
+	}
+	return 0
+}
+
+// Big converts u to a math/big integer (used by tests to cross-check the
+// limb arithmetic against the stdlib reference implementation).
+func (u U256) Big() *big.Int {
+	b := new(big.Int)
+	for i := 3; i >= 0; i-- {
+		b.Lsh(b, 64)
+		b.Or(b, new(big.Int).SetUint64(u[i]))
+	}
+	return b
+}
+
+// KeyDeltaFloat returns float64(K − kmin), the learned-model x coordinate
+// for key K in a segment anchored at kmin. K must satisfy K ≥ kmin.
+func KeyDeltaFloat(k, kmin CompoundKey) float64 {
+	return U256FromKey(k).Sub(U256FromKey(kmin)).Float64()
+}
+
+// Inf is the positive-infinity convenience used by model builders.
+var Inf = math.Inf(1)

@@ -1,0 +1,148 @@
+package types
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestU256FromKeyMatchesPaperFormula(t *testing.T) {
+	// §3.2: big integer = binary(addr) · 2^64 + blk.
+	k := CompoundKey{Addr: AddressFromString("u"), Blk: 0xDEADBEEF}
+	u := U256FromKey(k)
+
+	want := new(big.Int).SetBytes(k.Addr[:])
+	want.Lsh(want, 64)
+	want.Or(want, new(big.Int).SetUint64(k.Blk))
+
+	if u.Big().Cmp(want) != 0 {
+		t.Fatalf("U256FromKey = %s, want %s", u.Big(), want)
+	}
+}
+
+func TestU256KeyFitsIn224Bits(t *testing.T) {
+	var k CompoundKey
+	for i := range k.Addr {
+		k.Addr[i] = 0xFF
+	}
+	k.Blk = ^uint64(0)
+	if bl := U256FromKey(k).BitLen(); bl != 224 {
+		t.Fatalf("max key bit length = %d, want 224", bl)
+	}
+}
+
+func TestU256SubAddRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a := U256FromKey(randKey(r))
+		b := U256FromKey(randKey(r))
+		if a.Cmp(b) < 0 {
+			a, b = b, a
+		}
+		d := a.Sub(b)
+		if d.Add(b) != a {
+			t.Fatalf("(a-b)+b != a for a=%s b=%s", a.Big(), b.Big())
+		}
+	}
+}
+
+func TestU256SubMatchesBig(t *testing.T) {
+	f := func(a1, a2 [AddressSize]byte, b1, b2 uint64) bool {
+		x := U256FromKey(CompoundKey{Addr: a1, Blk: b1})
+		y := U256FromKey(CompoundKey{Addr: a2, Blk: b2})
+		if x.Cmp(y) < 0 {
+			x, y = y, x
+		}
+		want := new(big.Int).Sub(x.Big(), y.Big())
+		return x.Sub(y).Big().Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestU256CmpMatchesBig(t *testing.T) {
+	f := func(a1, a2 [AddressSize]byte, b1, b2 uint64) bool {
+		x := U256FromKey(CompoundKey{Addr: a1, Blk: b1})
+		y := U256FromKey(CompoundKey{Addr: a2, Blk: b2})
+		return x.Cmp(y) == x.Big().Cmp(y.Big())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestU256Float64SmallValuesExact(t *testing.T) {
+	// Same-address deltas are ≤ 2^53 in realistic chains and must convert
+	// exactly: model x coordinates are these deltas.
+	a := AddressFromString("f")
+	base := CompoundKey{Addr: a, Blk: 100}
+	for _, d := range []uint64{0, 1, 2, 1000, 1 << 30, 1 << 52} {
+		k := CompoundKey{Addr: a, Blk: 100 + d}
+		got := KeyDeltaFloat(k, base)
+		if got != float64(d) {
+			t.Fatalf("delta %d converted to %g", d, got)
+		}
+	}
+}
+
+func TestU256Float64MatchesBig(t *testing.T) {
+	f := func(a1 [AddressSize]byte, b1 uint64) bool {
+		u := U256FromKey(CompoundKey{Addr: a1, Blk: b1})
+		want, _ := new(big.Float).SetInt(u.Big()).Float64()
+		got := u.Float64()
+		if want == 0 {
+			return got == 0
+		}
+		// The limb-wise conversion may differ from the correctly rounded
+		// big.Float result by a few ulps; the PLA builder tolerates this by
+		// verifying with the same conversion it will use at query time.
+		rel := (got - want) / want
+		if rel < 0 {
+			rel = -rel
+		}
+		return rel < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestU256IsZeroAndBitLen(t *testing.T) {
+	var z U256
+	if !z.IsZero() || z.BitLen() != 0 {
+		t.Fatal("zero value must report IsZero and BitLen 0")
+	}
+	one := U256{1, 0, 0, 0}
+	if one.IsZero() || one.BitLen() != 1 {
+		t.Fatal("one must have bit length 1")
+	}
+	high := U256{0, 0, 0, 1}
+	if high.BitLen() != 193 {
+		t.Fatalf("2^192 bit length = %d, want 193", high.BitLen())
+	}
+}
+
+func TestKeyDeltaFloatMonotone(t *testing.T) {
+	// For sorted keys k1 ≤ k2 ≤ k3 with common anchor, deltas must be
+	// non-decreasing even through float64 rounding (rounding is monotone).
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		ks := []CompoundKey{randKey(r), randKey(r), randKey(r)}
+		for a := 0; a < 3; a++ {
+			for b := a + 1; b < 3; b++ {
+				if ks[b].Less(ks[a]) {
+					ks[a], ks[b] = ks[b], ks[a]
+				}
+			}
+		}
+		anchor := ks[0]
+		d1 := KeyDeltaFloat(ks[0], anchor)
+		d2 := KeyDeltaFloat(ks[1], anchor)
+		d3 := KeyDeltaFloat(ks[2], anchor)
+		if d1 > d2 || d2 > d3 {
+			t.Fatalf("deltas not monotone: %g %g %g", d1, d2, d3)
+		}
+	}
+}

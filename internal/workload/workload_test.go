@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"testing"
+
+	"cole/internal/chain"
+)
+
+func TestSmallBankDeterministic(t *testing.T) {
+	a := NewSmallBank(1, 100)
+	b := NewSmallBank(1, 100)
+	for i := 0; i < 500; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("generators diverged at tx %d", i)
+		}
+	}
+}
+
+func TestSmallBankOpMixCoversAllKinds(t *testing.T) {
+	g := NewSmallBank(2, 100)
+	seen := map[chain.TxKind]int{}
+	for i := 0; i < 6000; i++ {
+		seen[g.Next().Kind]++
+	}
+	for _, k := range []chain.TxKind{
+		chain.TxTransactSavings, chain.TxDepositChecking, chain.TxSendPayment,
+		chain.TxWriteCheck, chain.TxAmalgamate, chain.TxQuery,
+	} {
+		if seen[k] < 500 {
+			t.Fatalf("op %v only %d/6000 times; expected ~1/6", k, seen[k])
+		}
+	}
+}
+
+func TestSmallBankPartiesDistinct(t *testing.T) {
+	g := NewSmallBank(3, 2) // tiny population stresses the retry loop
+	for i := 0; i < 200; i++ {
+		tx := g.Next()
+		if tx.Kind == chain.TxSendPayment || tx.Kind == chain.TxAmalgamate {
+			if tx.A == tx.B {
+				t.Fatal("two-party ops must use distinct accounts")
+			}
+		}
+	}
+}
+
+func TestSmallBankBlockSize(t *testing.T) {
+	g := NewSmallBank(4, 10)
+	if len(g.Block(37)) != 37 {
+		t.Fatal("block size mismatch")
+	}
+}
+
+func TestKVStoreLoadPhaseCoversAllRecords(t *testing.T) {
+	g := NewKVStore(5, 123, ReadWrite)
+	load := g.LoadPhase()
+	if len(load) != 123 {
+		t.Fatalf("load phase %d txs", len(load))
+	}
+	keys := map[string]bool{}
+	for _, tx := range load {
+		if tx.Kind != chain.TxKVWrite {
+			t.Fatal("load phase must write")
+		}
+		keys[tx.A] = true
+	}
+	if len(keys) != 123 {
+		t.Fatalf("load phase covered %d distinct keys", len(keys))
+	}
+}
+
+func TestKVStoreRunningKeysWithinPopulation(t *testing.T) {
+	g := NewKVStore(6, 50, WriteOnly)
+	valid := map[string]bool{}
+	for _, tx := range g.LoadPhase() {
+		valid[tx.A] = true
+	}
+	for i := 0; i < 1000; i++ {
+		if !valid[g.Next().A] {
+			t.Fatal("running phase key outside loaded population")
+		}
+	}
+}
+
+func TestKVStoreWriteSequenceMonotone(t *testing.T) {
+	g := NewKVStore(7, 100, WriteOnly)
+	last := uint64(0)
+	for i := 0; i < 200; i++ {
+		tx := g.Next()
+		if tx.Amount <= last {
+			t.Fatal("write payloads must be distinct and increasing")
+		}
+		last = tx.Amount
+	}
+}
+
+func TestMixString(t *testing.T) {
+	if ReadOnly.String() != "RO" || ReadWrite.String() != "RW" || WriteOnly.String() != "WO" {
+		t.Fatal("mix labels must match the paper's axis labels")
+	}
+}
+
+func TestProvenanceDeterministicAndBounded(t *testing.T) {
+	a := NewProvenance(8, 25)
+	b := NewProvenance(8, 25)
+	_ = a.LoadPhase()
+	_ = b.LoadPhase()
+	for i := 0; i < 300; i++ {
+		ta, tb := a.Next(), b.Next()
+		if ta != tb {
+			t.Fatalf("diverged at %d", i)
+		}
+		if ta.Kind != chain.TxKVWrite {
+			t.Fatal("provenance updates must be writes")
+		}
+	}
+}
+
+func TestDegenerateSizes(t *testing.T) {
+	// Constructors clamp degenerate populations rather than panicking.
+	NewSmallBank(1, 0).Next()
+	NewKVStore(1, 0, ReadWrite).Next()
+	NewProvenance(1, 0).Next()
+}
