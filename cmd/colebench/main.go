@@ -5,10 +5,13 @@
 // Usage:
 //
 //	colebench -exp fig9 [-blocks N] [-tx N] [-scale paper|lab|quick]
+//	colebench -exp shardscale -shards 8
 //	colebench -exp all
 //
 // Experiments: fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1
-// mptbreakdown all.
+// mptbreakdown shardscale all. -shards N runs the COLE systems of any
+// experiment over an N-shard store; for shardscale it sets the top of
+// the power-of-two sweep.
 package main
 
 import (
@@ -29,6 +32,7 @@ func main() {
 		memcap  = flag.Int("memcap", 0, "override COLE in-memory capacity B (entries)")
 		ratio   = flag.Int("ratio", 0, "override size ratio T")
 		fanout  = flag.Int("fanout", 0, "override MHT fanout m")
+		shards  = flag.Int("shards", 0, "COLE shard count (shardscale: top of the 1,2,4,... sweep)")
 		scratch = flag.String("scratch", "", "scratch directory (default: system temp)")
 		seed    = flag.Int64("seed", 42, "workload seed")
 	)
@@ -49,6 +53,9 @@ func main() {
 	}
 	if *fanout > 0 {
 		cfg.Fanout = *fanout
+	}
+	if *shards > 1 {
+		cfg.Shards = *shards
 	}
 	cfg.Seed = *seed
 	prov.ScratchDir = *scratch
@@ -109,10 +116,34 @@ func main() {
 		run("mptbreakdown", func() (*bench.Table, error) { return bench.MPTBreakdown(cfg, *scratch) })
 		any = true
 	}
+	if all || *exp == "shardscale" {
+		// The sweep compares shard counts itself, so the global override
+		// only sets its upper bound.
+		c := cfg
+		c.Shards = 0
+		run("shardscale", func() (*bench.Table, error) {
+			return bench.ShardScaling(c, shardSweep(*shards), *scratch)
+		})
+		any = true
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// shardSweep returns the shard counts the scaling experiment visits:
+// powers of two below max, then max itself (so an explicit -shards value
+// is always measured; default top is 8).
+func shardSweep(max int) []int {
+	if max < 1 {
+		max = 8
+	}
+	var counts []int
+	for n := 1; n < max; n *= 2 {
+		counts = append(counts, n)
+	}
+	return append(counts, max)
 }
 
 // preset returns (base config, block-height sweep, provenance options)

@@ -11,7 +11,10 @@
 //	coledb -dir ledger stat
 //
 // Addresses and values are free-form strings (hashed/padded to their
-// fixed widths).
+// fixed widths). -shards N partitions a fresh store directory across N
+// engines committed in parallel; the count is persisted per directory,
+// reopening adopts it automatically, and existing unsharded directories
+// keep working as single-shard stores.
 package main
 
 import (
@@ -26,11 +29,12 @@ import (
 
 func main() {
 	var (
-		dir   = flag.String("dir", "coledb", "store directory")
-		async = flag.Bool("async", false, "use the asynchronous merge (COLE*)")
-		memB  = flag.Int("memcap", 4096, "in-memory level capacity B")
-		ratio = flag.Int("ratio", 4, "size ratio T")
-		m     = flag.Int("fanout", 4, "MHT fanout m")
+		dir    = flag.String("dir", "coledb", "store directory")
+		async  = flag.Bool("async", false, "use the asynchronous merge (COLE*)")
+		memB   = flag.Int("memcap", 4096, "in-memory level capacity B")
+		ratio  = flag.Int("ratio", 4, "size ratio T")
+		m      = flag.Int("fanout", 4, "MHT fanout m")
+		shards = flag.Int("shards", 0, "shard count for a fresh store (0 = adopt the directory's persisted count)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -38,8 +42,11 @@ func main() {
 		fail("missing command: put | get | getat | prov | stat")
 	}
 
-	store, err := cole.Open(cole.Options{
+	// A 1-shard store is byte-compatible with the unsharded engine, so the
+	// sharded open serves every store directory, old or new.
+	store, err := cole.OpenSharded(cole.Options{
 		Dir: *dir, AsyncMerge: *async, MemCapacity: *memB, SizeRatio: *ratio, Fanout: *m,
+		Shards: *shards,
 	})
 	if err != nil {
 		fail("open: %v", err)
@@ -109,12 +116,12 @@ func main() {
 			fail("prov: %v", err)
 		}
 		root := store.RootDigest()
-		verified, err := cole.VerifyProv(root, addr, lo, hi, proof)
+		verified, err := cole.VerifyShardProv(root, addr, lo, hi, proof)
 		if err != nil {
 			fail("verification FAILED: %v", err)
 		}
-		fmt.Printf("%d versions in [%d,%d], proof %d bytes, verified against Hstate %s\n",
-			len(verified), lo, hi, proof.Size(), root)
+		fmt.Printf("%d versions in [%d,%d], proof %d bytes (shard %d of %d), verified against Hstate %s\n",
+			len(verified), lo, hi, proof.Size(), proof.Shard, store.Shards(), root)
 		for _, v := range verified {
 			fmt.Printf("  block %6d: %s\n", v.Blk, renderValue(v.Value))
 		}
@@ -122,6 +129,7 @@ func main() {
 		sb := store.Storage()
 		st := store.Stats()
 		fmt.Printf("height:      %d (checkpoint %d)\n", store.Height(), store.CheckpointHeight())
+		fmt.Printf("shards:      %d\n", store.Shards())
 		fmt.Printf("entries:     %d in %d runs across %d levels\n", sb.Entries, sb.Runs, sb.Levels)
 		fmt.Printf("disk:        %d data bytes + %d index bytes\n", sb.DataBytes, sb.IndexBytes)
 		fmt.Printf("ops:         %d puts, %d gets, %d prov queries\n", st.Puts, st.Gets, st.ProvQueries)

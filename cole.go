@@ -34,7 +34,10 @@
 package cole
 
 import (
+	"fmt"
+
 	"cole/internal/core"
+	"cole/internal/shard"
 	"cole/internal/types"
 )
 
@@ -82,8 +85,17 @@ type Store struct {
 	engine *core.Engine
 }
 
-// Open creates or reopens a store in opts.Dir.
+// Open creates or reopens a store in opts.Dir. Stores with Shards > 1 are
+// served by OpenSharded (a Store wraps exactly one engine); opening a
+// directory that holds a multi-shard store fails rather than presenting
+// an empty view of it.
 func Open(opts Options) (*Store, error) {
+	if opts.Shards > 1 {
+		return nil, fmt.Errorf("cole: Options.Shards = %d; use OpenSharded for a multi-shard store", opts.Shards)
+	}
+	if err := shard.GuardSingleEngine(opts.Dir); err != nil {
+		return nil, fmt.Errorf("%w; use OpenSharded", err)
+	}
 	e, err := core.Open(opts)
 	if err != nil {
 		return nil, err
@@ -144,3 +156,92 @@ func (s *Store) FlushAll() error { return s.engine.FlushAll() }
 // Close joins background merges and releases file handles. Unflushed L0
 // data is recovered by block replay; call FlushAll first to avoid replay.
 func (s *Store) Close() error { return s.engine.Close() }
+
+// ShardProof authenticates a provenance query against a sharded store's
+// combined digest: the owning shard's inner COLE proof plus the shard
+// index and the sibling shard roots.
+type ShardProof = shard.Proof
+
+// ShardedStore hash-partitions the address space across Options.Shards
+// independent engines (each in its own subdirectory of Options.Dir) and
+// commits them in parallel. The per-block digest deterministically
+// combines the per-shard Hstate roots; with Shards = 1 it equals the
+// single-engine digest, so a one-shard store is byte-compatible with a
+// Store opened by Open.
+type ShardedStore struct {
+	store *shard.Store
+}
+
+// OpenSharded creates or reopens a sharded store in opts.Dir. Shards = 0
+// adopts the count persisted in the store directory (1 for a fresh one);
+// an explicit count must match the persisted one on reopen.
+func OpenSharded(opts Options) (*ShardedStore, error) {
+	s, err := shard.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedStore{store: s}, nil
+}
+
+// Shards returns the partition count.
+func (s *ShardedStore) Shards() int { return s.store.Shards() }
+
+// ShardOf returns the partition that owns addr.
+func (s *ShardedStore) ShardOf(addr Address) int { return s.store.ShardIndex(addr) }
+
+// BeginBlock starts block `height` on every shard (monotone; no forks).
+func (s *ShardedStore) BeginBlock(height uint64) error { return s.store.BeginBlock(height) }
+
+// Put routes a state update to the owning shard.
+func (s *ShardedStore) Put(addr Address, v Value) error { return s.store.Put(addr, v) }
+
+// Commit seals the open block across all shards in parallel and returns
+// the combined state root digest for the block header. The digest is
+// deterministic regardless of shard goroutine completion order. During
+// post-crash replay, digests for blocks below the highest shard
+// checkpoint fold in skipped shards' newer roots and only match the
+// originally published headers again once replay passes Height().
+func (s *ShardedStore) Commit() (Hash, error) { return s.store.Commit() }
+
+// Get returns the latest value of addr.
+func (s *ShardedStore) Get(addr Address) (Value, bool, error) { return s.store.Get(addr) }
+
+// GetAt returns the value of addr active at block height blk.
+func (s *ShardedStore) GetAt(addr Address, blk uint64) (Value, uint64, bool, error) {
+	return s.store.GetAt(addr, blk)
+}
+
+// ProvQuery returns the versions of addr written within [blkLo, blkHi]
+// (newest first) and a proof verifiable against the combined digest.
+func (s *ShardedStore) ProvQuery(addr Address, blkLo, blkHi uint64) ([]Version, *ShardProof, error) {
+	return s.store.ProvQuery(addr, blkLo, blkHi)
+}
+
+// VerifyShardProv verifies a sharded provenance proof against the
+// combined state root digest from a block header and returns the
+// authenticated versions.
+func VerifyShardProv(hstate Hash, addr Address, blkLo, blkHi uint64, proof *ShardProof) ([]Version, error) {
+	return shard.VerifyProv(hstate, addr, blkLo, blkHi, proof)
+}
+
+// RootDigest returns the current combined digest.
+func (s *ShardedStore) RootDigest() Hash { return s.store.RootDigest() }
+
+// Height returns the highest committed block height across shards.
+func (s *ShardedStore) Height() uint64 { return s.store.Height() }
+
+// CheckpointHeight returns the lowest shard checkpoint: blocks above it
+// must be replayed after a crash.
+func (s *ShardedStore) CheckpointHeight() uint64 { return s.store.CheckpointHeight() }
+
+// Storage reports the on-disk footprint summed across shards.
+func (s *ShardedStore) Storage() StorageBreakdown { return s.store.Storage() }
+
+// Stats returns engine counters summed across shards.
+func (s *ShardedStore) Stats() Stats { return s.store.Stats() }
+
+// FlushAll persists every shard's in-memory level for a clean shutdown.
+func (s *ShardedStore) FlushAll() error { return s.store.FlushAll() }
+
+// Close joins background merges and releases file handles on every shard.
+func (s *ShardedStore) Close() error { return s.store.Close() }

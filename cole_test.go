@@ -1,6 +1,8 @@
 package cole_test
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"cole"
@@ -103,5 +105,95 @@ func TestValueHelpers(t *testing.T) {
 	}
 	if cole.ValueFromBytes([]byte("short")) == (cole.Value{}) {
 		t.Fatal("value must not be zero")
+	}
+}
+
+// TestShardedFacade exercises the sharded public surface: parallel
+// commit, verified provenance against the combined digest, and the
+// guards that keep sharded and unsharded opens from crossing wires.
+func TestShardedFacade(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cole.OpenSharded(cole.Options{Dir: dir, Shards: 4, MemCapacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := cole.AddressFromString("carol")
+	var root cole.Hash
+	for h := uint64(1); h <= 10; h++ {
+		if err := store.BeginBlock(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Put(addr, cole.ValueFromUint64(h)); err != nil {
+			t.Fatal(err)
+		}
+		if root, err = store.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, proof, err := store.ProvQuery(addr, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions, err := cole.VerifyShardProv(root, addr, 1, 10, proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 10 {
+		t.Fatalf("verified %d versions, want 10", len(versions))
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Open must refuse the multi-shard directory rather than present an
+	// empty single-engine view of it.
+	if _, err := cole.Open(cole.Options{Dir: dir}); err == nil {
+		t.Fatal("cole.Open accepted a 4-shard store directory")
+	}
+	// OpenSharded with Shards unset adopts the persisted count.
+	reopened, err := cole.OpenSharded(cole.Options{Dir: dir, MemCapacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if reopened.Shards() != 4 {
+		t.Fatalf("reopen adopted %d shards, want 4", reopened.Shards())
+	}
+}
+
+// TestOpenRejectsCorruptShardManifest: a damaged SHARDS file must fail
+// both open paths rather than let Open present an empty engine view.
+func TestOpenRejectsCorruptShardManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "SHARDS"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cole.Open(cole.Options{Dir: dir}); err == nil {
+		t.Fatal("cole.Open accepted a corrupt SHARDS file")
+	}
+	if _, err := cole.OpenSharded(cole.Options{Dir: dir}); err == nil {
+		t.Fatal("cole.OpenSharded accepted a corrupt SHARDS file")
+	}
+}
+
+// TestOpenRejectsOrphanedShardDirs: shard subdirectories whose SHARDS
+// file was lost must not open as an empty unsharded store.
+func TestOpenRejectsOrphanedShardDirs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := cole.OpenSharded(cole.Options{Dir: dir, Shards: 2, MemCapacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "SHARDS")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cole.Open(cole.Options{Dir: dir}); err == nil {
+		t.Fatal("cole.Open accepted a dir with orphaned shard subdirectories")
+	}
+	if _, err := cole.OpenSharded(cole.Options{Dir: dir}); err == nil {
+		t.Fatal("cole.OpenSharded (Shards=0) accepted a dir with orphaned shard subdirectories")
 	}
 }

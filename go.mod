@@ -1,0 +1,3 @@
+module cole
+
+go 1.22

@@ -54,6 +54,7 @@ type Config struct {
 	SizeRatio  int     // T
 	Fanout     int     // m
 	BloomFP    float64 // bloom false-positive target
+	Shards     int     // COLE shard count (0/1 = single engine)
 	Seed       int64
 }
 
@@ -136,14 +137,31 @@ type backendHandle struct {
 func openSystem(sys System, dir string, cfg Config) (*backendHandle, error) {
 	switch sys {
 	case SysCOLE, SysCOLEAsync:
-		b, err := chain.OpenCole(core.Options{
+		o := core.Options{
 			Dir:         dir,
 			MemCapacity: cfg.MemCap,
 			SizeRatio:   cfg.SizeRatio,
 			Fanout:      cfg.Fanout,
 			BloomFP:     cfg.BloomFP,
 			AsyncMerge:  sys == SysCOLEAsync,
-		})
+			Shards:      cfg.Shards,
+		}
+		if cfg.Shards > 1 {
+			b, err := chain.OpenShardedCole(o)
+			if err != nil {
+				return nil, err
+			}
+			return &backendHandle{
+				backend: b,
+				measure: func() (int64, int64, int64, int) {
+					_ = b.Store.FlushAll()
+					sb := b.Store.Storage()
+					return sb.DataBytes + sb.IndexBytes, sb.DataBytes, sb.IndexBytes, sb.Levels
+				},
+				close: func() { b.Close() },
+			}, nil
+		}
+		b, err := chain.OpenCole(o)
 		if err != nil {
 			return nil, err
 		}

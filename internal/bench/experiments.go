@@ -8,6 +8,7 @@ import (
 	"cole/internal/chain"
 	"cole/internal/core"
 	"cole/internal/mpt"
+	"cole/internal/shard"
 	"cole/internal/types"
 	"cole/internal/workload"
 )
@@ -225,10 +226,11 @@ func (o ProvOptions) defaults() ProvOptions {
 type provStore struct {
 	sys    System
 	height uint64
-	// exactly one pair is set
-	cole *core.Engine
-	mpt  *chain.MPTBackend
-	h    *backendHandle
+	// exactly one of cole, sharded, mpt is set
+	cole    *core.Engine
+	sharded *shard.Store
+	mpt     *chain.MPTBackend
+	h       *backendHandle
 }
 
 // buildProvStore loads 100 base states then applies update blocks.
@@ -260,6 +262,8 @@ func buildProvStore(sys System, cfg Config, opts ProvOptions, dir string) (*prov
 	switch b := h.backend.(type) {
 	case *chain.ColeBackend:
 		ps.cole = b.Engine
+	case *chain.ShardedColeBackend:
+		ps.sharded = b.Store
 	case *chain.MPTBackend:
 		ps.mpt = b
 	default:
@@ -285,6 +289,17 @@ func (ps *provStore) query(rng *rand.Rand, base int, q int) (time.Duration, int,
 			return 0, 0, err
 		}
 		if _, err := core.VerifyProv(hstate, addr, lo, hi, proof); err != nil {
+			return 0, 0, err
+		}
+		return time.Since(start), proof.Size(), nil
+	}
+	if ps.sharded != nil {
+		hstate := ps.sharded.RootDigest()
+		_, proof, err := ps.sharded.ProvQuery(addr, lo, hi)
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := shard.VerifyProv(hstate, addr, lo, hi, proof); err != nil {
 			return 0, 0, err
 		}
 		return time.Since(start), proof.Size(), nil

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"fmt"
+
+	"cole/internal/workload"
+)
+
+// ShardScaling measures write-heavy throughput versus shard count: the
+// KVStore write-only mix driven through 1..N-shard COLE and COLE* stores.
+// Each shard keeps its own B-entry memory level and its commit runs in
+// its own goroutine, so scaling combines parallel flush/merge work with
+// rarer per-shard cascades; the speedup column is relative to the
+// single-shard run of the same system.
+func ShardScaling(cfg Config, counts []int, scratch string) (*Table, error) {
+	cfg = cfg.Defaults()
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 8}
+	}
+	cfg.Mix = int(workload.WriteOnly)
+	t := &Table{
+		Title:   "Shard scaling: write-heavy throughput vs shard count (KVStore WO)",
+		Columns: []string{"shards", "system", "throughput(TPS)", "speedup", "median", "max(tail)"},
+		Notes: []string{
+			"per-shard commits run in parallel goroutines; the combined digest stays deterministic",
+			"each shard holds its own B-entry memory level (aggregate L0 grows with the shard count)",
+		},
+	}
+	for _, sys := range []System{SysCOLE, SysCOLEAsync} {
+		var base float64
+		for _, n := range counts {
+			c := cfg
+			c.Shards = n
+			dir, err := tempDir(scratch, "shards")
+			if err != nil {
+				return nil, err
+			}
+			res, err := Run(sys, WorkloadKVStore, c, dir)
+			cleanup(dir)
+			if err != nil {
+				return nil, fmt.Errorf("%s with %d shards: %w", sys, n, err)
+			}
+			if base == 0 {
+				base = res.TPS
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(n), string(sys), fmt.Sprintf("%.0f", res.TPS),
+				fmt.Sprintf("%.2fx", res.TPS/base),
+				fmtDur(res.Latency.P50), fmtDur(res.Latency.Max),
+			})
+		}
+	}
+	return t, nil
+}

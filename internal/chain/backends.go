@@ -9,6 +9,7 @@ import (
 	"cole/internal/kvstore"
 	"cole/internal/lipp"
 	"cole/internal/mpt"
+	"cole/internal/shard"
 	"cole/internal/types"
 )
 
@@ -42,6 +43,41 @@ func (b *ColeBackend) Commit() (types.Hash, error) { return b.Engine.Commit() }
 
 // Close implements StateBackend.
 func (b *ColeBackend) Close() error { return b.Engine.Close() }
+
+// ShardedColeBackend adapts a sharded COLE store (N engines, parallel
+// per-shard commit) to StateBackend.
+type ShardedColeBackend struct {
+	Store *shard.Store
+}
+
+// OpenShardedCole opens a sharded COLE backend with opts.Shards
+// partitions.
+func OpenShardedCole(opts core.Options) (*ShardedColeBackend, error) {
+	s, err := shard.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedColeBackend{Store: s}, nil
+}
+
+// BeginBlock implements StateBackend.
+func (b *ShardedColeBackend) BeginBlock(h uint64) error { return b.Store.BeginBlock(h) }
+
+// Put implements StateBackend.
+func (b *ShardedColeBackend) Put(addr types.Address, v types.Value) error {
+	return b.Store.Put(addr, v)
+}
+
+// Get implements StateBackend.
+func (b *ShardedColeBackend) Get(addr types.Address) (types.Value, bool, error) {
+	return b.Store.Get(addr)
+}
+
+// Commit implements StateBackend.
+func (b *ShardedColeBackend) Commit() (types.Hash, error) { return b.Store.Commit() }
+
+// Close implements StateBackend.
+func (b *ShardedColeBackend) Close() error { return b.Store.Close() }
 
 // MPTBackend adapts the persistent Merkle Patricia Trie baseline.
 type MPTBackend struct {

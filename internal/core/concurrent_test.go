@@ -14,6 +14,9 @@ import (
 // consistent committed state: any value returned for an address must be
 // one the workload actually wrote.
 func TestConcurrentReadsDuringWrites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long concurrency soak; the CI -race job runs it without -short")
+	}
 	opts := testOpts(t, true)
 	opts.MemCapacity = 64
 	e := openEngine(t, opts)

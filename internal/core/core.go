@@ -65,6 +65,12 @@ type Options struct {
 	// construction instead of the default greedy cone (ablation knob; the
 	// on-disk format is identical).
 	OptimalPLA bool
+	// Shards is the number of independent engine partitions the address
+	// space is hash-split across. Default 1 = a single engine (today's
+	// behavior). Values above 1 are consumed by the shard layer
+	// (internal/shard, cole.OpenSharded); a single Engine always serves
+	// exactly one shard and ignores this field.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {

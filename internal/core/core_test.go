@@ -164,6 +164,9 @@ func TestOptionsValidation(t *testing.T) {
 }
 
 func TestMultiLevelGetMatchesOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-level workload is the suite's heaviest case; run without -short")
+	}
 	for _, async := range []bool{false, true} {
 		e := openEngine(t, testOpts(t, async))
 		o := newOracle()

@@ -228,10 +228,14 @@ func TestClosedDBRejectsWrites(t *testing.T) {
 }
 
 func TestRandomOpsAgainstMap(t *testing.T) {
+	iters := 20000
+	if testing.Short() {
+		iters = 4000
+	}
 	db := openDB(t, Options{MemBytes: 2 << 10, SizeRatio: 2})
 	ref := map[string][]byte{}
 	r := rand.New(rand.NewSource(99))
-	for i := 0; i < 20000; i++ {
+	for i := 0; i < iters; i++ {
 		k := []byte(fmt.Sprintf("key-%04d", r.Intn(500)))
 		switch r.Intn(10) {
 		case 0:

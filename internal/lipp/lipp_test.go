@@ -29,6 +29,9 @@ func TestEmpty(t *testing.T) {
 }
 
 func TestPutGetAgainstMap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3k-op reference check needs full scale to trigger rebuilds; run without -short")
+	}
 	tr, _ := newTree(t)
 	ref := map[types.Address]types.Value{}
 	r := rand.New(rand.NewSource(1))

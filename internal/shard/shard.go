@@ -1,0 +1,540 @@
+// Package shard partitions the COLE address space across N independent
+// core.Engine instances and commits them in parallel.
+//
+// A single engine serializes its whole write path behind one mutex, so at
+// commit time the flush/merge cascade of a busy block runs alone on one
+// core. Sharding hash-splits the 20-byte address space into N partitions,
+// each backed by its own engine in its own subdirectory; BeginBlock/Put
+// route to the owning partition and Commit runs all per-shard commits in
+// parallel goroutines. The block header digest becomes a deterministic
+// combination of the per-shard Hstate roots, gathered in shard-index
+// order so goroutine completion order never changes the result.
+//
+// Provenance proofs stay per-shard: a query is answered by the owning
+// engine's Proof plus the full list of shard roots, and verification
+// recombines the roots, checks them against the published digest, and
+// then verifies the inner proof against the owning shard's root. With
+// Shards = 1 the combined digest is defined to *be* the single engine's
+// Hstate, so a one-shard store is byte-compatible with an unsharded one
+// (same directory layout, same digests, same proofs).
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cole/internal/core"
+	"cole/internal/types"
+)
+
+// MaxShards bounds the shard count; beyond this the per-shard memory and
+// file-handle overhead dwarfs any commit parallelism.
+const MaxShards = 256
+
+// rootDomain prefixes the combined-root hash so a multi-shard digest can
+// never collide with a single engine's root_hash_list hash over the same
+// component hashes.
+var rootDomain = []byte("COLE-SHARD-ROOTS/v1\x00")
+
+// ShardOf routes an address to its owning partition: FNV-1a over the
+// 20 address bytes, mod n. Deterministic across processes and platforms.
+func ShardOf(addr types.Address, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write(addr[:])
+	return int(h.Sum64() % uint64(n))
+}
+
+// CombineRoots folds per-shard Hstate roots (shard-index order) into the
+// block-header digest. One shard combines to its root unchanged, which is
+// what makes Shards=1 byte-compatible with an unsharded engine.
+func CombineRoots(roots []types.Hash) types.Hash {
+	if len(roots) == 1 {
+		return roots[0]
+	}
+	parts := make([][]byte, 0, len(roots)+1)
+	parts = append(parts, rootDomain)
+	for i := range roots {
+		parts = append(parts, roots[i][:])
+	}
+	return types.HashData(parts...)
+}
+
+// Store is a sharded COLE store: N engines behind one block interface.
+type Store struct {
+	opts core.Options
+	n    int
+
+	// mu serializes block lifecycle against reads: BeginBlock, Commit,
+	// FlushAll and Close take the write lock; Put and queries take the
+	// read lock (each engine still has its own internal mutex).
+	mu      sync.RWMutex
+	engines []*core.Engine
+	inBlock bool
+	height  uint64
+	// active flags which shards participate in the open block. During
+	// normal operation all do; during post-crash replay a shard whose
+	// checkpoint already covers the replayed height is skipped, so blocks
+	// between the minimum and maximum shard checkpoints can be re-executed
+	// without double-applying writes.
+	active []bool
+}
+
+// shardManifest pins the partition count of a store directory.
+type shardManifest struct {
+	Shards int `json:"shards"`
+}
+
+const manifestName = "SHARDS"
+
+// Open creates or reopens a sharded store in opts.Dir. opts.Shards selects
+// the partition count: 0 adopts the count persisted in the directory's
+// SHARDS file (1 for a fresh or legacy directory), and an explicit count
+// must match the persisted one on reopen. With one shard the engine lives
+// directly in opts.Dir; with more, each shard i lives in opts.Dir/shard-NN.
+func Open(opts core.Options) (*Store, error) {
+	n := opts.Shards
+	if n < 0 || n > MaxShards {
+		return nil, fmt.Errorf("shard: Shards %d out of range [0,%d]", n, MaxShards)
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("shard: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	persisted, pinned, err := PersistedCount(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case n == 0 && pinned:
+		n = persisted
+	case n == 0:
+		n = 1
+	case pinned && persisted != n:
+		return nil, fmt.Errorf("shard: store was created with %d shards, reopened with %d", persisted, n)
+	}
+	if !pinned && n > 1 {
+		// No SHARDS file but an engine manifest in the root: a legacy
+		// unsharded store. Splitting it would silently hide the existing
+		// data under empty shard subdirectories.
+		if _, serr := os.Stat(filepath.Join(opts.Dir, "MANIFEST")); serr == nil {
+			return nil, fmt.Errorf("shard: %s holds an unsharded store; it cannot be reopened with Shards=%d", opts.Dir, n)
+		}
+	}
+	if !pinned && n == 1 {
+		// The mirror image: shard subdirectories without a SHARDS file
+		// (lost in a partial copy, or a crash between shard creation and
+		// the manifest write). Opening a fresh engine in the root would
+		// hide the shard data; an explicit matching Shards count re-pins.
+		if err := guardOrphanedShards(opts.Dir); err != nil {
+			return nil, err
+		}
+	}
+	s := &Store{opts: opts, n: n, active: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		eo := opts
+		eo.Shards = 1
+		if n > 1 {
+			eo.Dir = filepath.Join(opts.Dir, fmt.Sprintf("shard-%02d", i))
+		}
+		e, err := core.Open(eo)
+		if err != nil {
+			for _, prev := range s.engines {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.engines = append(s.engines, e)
+	}
+	if err := writeManifest(opts.Dir, n); err != nil {
+		for _, e := range s.engines {
+			e.Close()
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
+// guardOrphanedShards rejects a directory that has shard subdirectories
+// but no SHARDS file pinning them.
+func guardOrphanedShards(dir string) error {
+	if _, err := os.Stat(filepath.Join(dir, "shard-00")); err == nil {
+		return fmt.Errorf("shard: %s has shard subdirectories but no %s file; reopen with the original explicit Shards count to re-pin it", dir, manifestName)
+	}
+	return nil
+}
+
+// GuardSingleEngine returns an error when dir cannot be served by a bare
+// single engine: its SHARDS file pins multiple shards or is corrupt, or
+// it has shard subdirectories with no SHARDS file at all. Callers that
+// open an engine directly in dir (bypassing Open) use this to avoid
+// presenting an empty view of sharded data.
+func GuardSingleEngine(dir string) error {
+	n, ok, err := PersistedCount(dir)
+	if err != nil {
+		return err
+	}
+	if ok && n > 1 {
+		return fmt.Errorf("shard: %s holds a %d-shard store; open it as a sharded store", dir, n)
+	}
+	if !ok {
+		return guardOrphanedShards(dir)
+	}
+	return nil
+}
+
+// PersistedCount reports the shard count pinned in dir's SHARDS file;
+// ok is false when the directory is fresh or holds a legacy unsharded
+// store.
+func PersistedCount(dir string) (count int, ok bool, err error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	var m shardManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return 0, false, fmt.Errorf("shard: corrupt %s file: %w", manifestName, err)
+	}
+	if m.Shards < 1 || m.Shards > MaxShards {
+		return 0, false, fmt.Errorf("shard: %s file pins count %d out of range [1,%d]", manifestName, m.Shards, MaxShards)
+	}
+	return m.Shards, true, nil
+}
+
+func writeManifest(dir string, n int) error {
+	path := filepath.Join(dir, manifestName)
+	if _, err := os.Stat(path); err == nil {
+		return nil // already pinned (and checked against) by Open
+	}
+	raw, err := json.Marshal(shardManifest{Shards: n})
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Shards returns the partition count.
+func (s *Store) Shards() int { return s.n }
+
+// ShardIndex returns the partition owning addr.
+func (s *Store) ShardIndex(addr types.Address) int { return ShardOf(addr, s.n) }
+
+// BeginBlock opens block `height` on every shard that has not yet
+// committed it. During normal operation that is all of them; after a crash
+// the shards' checkpoints differ, and replaying from the minimum
+// checkpoint skips the shards whose durable state already covers the
+// height (their writes for it would otherwise be applied twice).
+func (s *Store) BeginBlock(height uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inBlock {
+		return fmt.Errorf("shard: block %d still open", s.height)
+	}
+	if height == 0 {
+		return fmt.Errorf("shard: height 0 invalid (blocks start at 1)")
+	}
+	any := false
+	maxCommitted := uint64(0)
+	for i, e := range s.engines {
+		h := e.Height()
+		if h > maxCommitted {
+			maxCommitted = h
+		}
+		s.active[i] = h < height
+		any = any || s.active[i]
+	}
+	if !any {
+		return fmt.Errorf("shard: height %d not above committed %d (no fork support)", height, maxCommitted)
+	}
+	for i, e := range s.engines {
+		if !s.active[i] {
+			continue
+		}
+		if err := e.BeginBlock(height); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	s.height = height
+	s.inBlock = true
+	return nil
+}
+
+// Put routes a state update to the owning shard. Writes routed to a shard
+// skipped for this block (replay of an already-covered height) are
+// dropped: the shard's durable state already contains them.
+func (s *Store) Put(addr types.Address, v types.Value) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.inBlock {
+		return fmt.Errorf("shard: Put outside a block; call BeginBlock first")
+	}
+	i := ShardOf(addr, s.n)
+	if !s.active[i] {
+		return nil
+	}
+	return s.engines[i].Put(addr, v)
+}
+
+// Commit seals the open block on every participating shard in parallel
+// goroutines and combines the per-shard Hstate roots — gathered in
+// shard-index order, never completion order — into the deterministic
+// block-header digest.
+//
+// During post-crash replay a skipped shard contributes its current
+// (newer) root, so digests returned for blocks below the highest shard
+// checkpoint do not match the originally published headers; they match
+// again from the first block all shards execute (see Height). Deriving
+// the historical roots of skipped shards is an open item.
+func (s *Store) Commit() (types.Hash, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.inBlock {
+		return types.Hash{}, fmt.Errorf("shard: Commit without BeginBlock")
+	}
+	s.inBlock = false
+
+	roots := make([]types.Hash, s.n)
+	errs := make([]error, s.n)
+	var wg sync.WaitGroup
+	for i := range s.engines {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if s.active[i] {
+				roots[i], errs[i] = s.engines[i].Commit()
+			} else {
+				roots[i] = s.engines[i].RootDigest()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return types.Hash{}, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return CombineRoots(roots), nil
+}
+
+// Get returns the latest value of addr from its owning shard.
+func (s *Store) Get(addr types.Address) (types.Value, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engines[ShardOf(addr, s.n)].Get(addr)
+}
+
+// GetAt returns the value of addr active at block height blk.
+func (s *Store) GetAt(addr types.Address, blk uint64) (types.Value, uint64, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engines[ShardOf(addr, s.n)].GetAt(addr, blk)
+}
+
+// Proof authenticates a provenance query against the combined multi-shard
+// digest: the owning shard's inner COLE proof, the shard index, and the
+// sibling shard roots needed to recombine the block-header digest.
+type Proof struct {
+	// Shard is the partition that answered the query.
+	Shard int
+	// Roots holds every shard's Hstate root in shard-index order; the
+	// inner proof is verified against entry Shard, the rest are the
+	// siblings needed to recombine the digest.
+	Roots []types.Hash
+	// Inner is the owning engine's provenance proof.
+	Inner *core.Proof
+}
+
+// Size approximates the proof's wire size in bytes: the inner proof plus
+// one root hash per shard and the shard index.
+func (p *Proof) Size() int {
+	s := 8 + len(p.Roots)*types.HashSize
+	if p.Inner != nil {
+		s += p.Inner.Size()
+	}
+	return s
+}
+
+// ProvQuery answers a provenance query from the owning shard and wraps
+// its proof with the full shard-root list for verification against the
+// combined digest.
+func (s *Store) ProvQuery(addr types.Address, blkLo, blkHi uint64) ([]core.Version, *Proof, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx := ShardOf(addr, s.n)
+	versions, inner, err := s.engines[idx].ProvQuery(addr, blkLo, blkHi)
+	if err != nil {
+		return nil, nil, err
+	}
+	roots := make([]types.Hash, s.n)
+	for i, e := range s.engines {
+		roots[i] = e.RootDigest()
+	}
+	return versions, &Proof{Shard: idx, Roots: roots, Inner: inner}, nil
+}
+
+// VerifyProv verifies a sharded provenance proof against the combined
+// block-header digest: the address must route to the claimed shard, the
+// shard roots must recombine to hstate, and the inner proof must verify
+// against the owning shard's root. Returns the authenticated versions,
+// newest first.
+func VerifyProv(hstate types.Hash, addr types.Address, blkLo, blkHi uint64, p *Proof) ([]core.Version, error) {
+	if p == nil {
+		return nil, fmt.Errorf("shard: nil proof")
+	}
+	n := len(p.Roots)
+	if n < 1 || n > MaxShards {
+		return nil, fmt.Errorf("shard: proof carries %d shard roots", n)
+	}
+	if want := ShardOf(addr, n); p.Shard != want {
+		return nil, fmt.Errorf("shard: proof answers from shard %d but the address routes to shard %d of %d", p.Shard, want, n)
+	}
+	if CombineRoots(p.Roots) != hstate {
+		return nil, fmt.Errorf("shard: combined shard roots do not match Hstate")
+	}
+	return core.VerifyProv(p.Roots[p.Shard], addr, blkLo, blkHi, p.Inner)
+}
+
+// RootDigest returns the current combined digest without committing.
+func (s *Store) RootDigest() types.Hash {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	roots := make([]types.Hash, s.n)
+	for i, e := range s.engines {
+		roots[i] = e.RootDigest()
+	}
+	return CombineRoots(roots)
+}
+
+// Height returns the highest committed block height across shards. During
+// normal operation all shards agree; after a crash this is the height
+// replay must reach before the combined digest is meaningful again.
+func (s *Store) Height() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var max uint64
+	for _, e := range s.engines {
+		if h := e.Height(); h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// CheckpointHeight returns the lowest shard checkpoint: after a crash,
+// every block above it must be replayed (shards whose own checkpoint is
+// higher skip the replayed blocks they already cover).
+func (s *Store) CheckpointHeight() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	min := s.engines[0].CheckpointHeight()
+	for _, e := range s.engines[1:] {
+		if c := e.CheckpointHeight(); c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Storage sums the on-disk footprint across shards (Levels reports the
+// deepest shard).
+func (s *Store) Storage() core.StorageBreakdown {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var sb core.StorageBreakdown
+	for _, e := range s.engines {
+		esb := e.Storage()
+		sb.DataBytes += esb.DataBytes
+		sb.IndexBytes += esb.IndexBytes
+		sb.Entries += esb.Entries
+		sb.Runs += esb.Runs
+		if esb.Levels > sb.Levels {
+			sb.Levels = esb.Levels
+		}
+	}
+	return sb
+}
+
+// Stats sums engine counters across shards.
+func (s *Store) Stats() core.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var st core.Stats
+	for _, e := range s.engines {
+		es := e.Stats()
+		st.Puts += es.Puts
+		st.Gets += es.Gets
+		st.ProvQueries += es.ProvQueries
+		st.Flushes += es.Flushes
+		st.Merges += es.Merges
+		st.MergeWaits += es.MergeWaits
+	}
+	return st
+}
+
+// ShardStats returns each shard's entry count (memory + disk), for
+// balance introspection.
+func (s *Store) ShardStats() []int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int64, s.n)
+	for i, e := range s.engines {
+		w, m := e.MemEntries()
+		out[i] = e.Storage().Entries + int64(w) + int64(m)
+	}
+	return out
+}
+
+// FlushAll persists every shard's in-memory level in parallel, for a
+// clean shutdown.
+func (s *Store) FlushAll() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inBlock {
+		return fmt.Errorf("shard: FlushAll inside an open block")
+	}
+	errs := make([]error, s.n)
+	var wg sync.WaitGroup
+	for i := range s.engines {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.engines[i].FlushAll()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close joins background merges and releases file handles on every shard.
+// Unflushed L0 data is recovered by block replay above CheckpointHeight.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for i, e := range s.engines {
+		if err := e.Close(); err != nil && first == nil {
+			first = fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return first
+}
