@@ -6,12 +6,19 @@
 //
 //	colebench -exp fig9 [-blocks N] [-tx N] [-scale paper|lab|quick]
 //	colebench -exp shardscale -shards 8
-//	colebench -exp all
+//	colebench -exp mergesched -merge-workers 8
+//	colebench -exp all -json results.json
 //
 // Experiments: fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1
-// mptbreakdown shardscale all. -shards N runs the COLE systems of any
-// experiment over an N-shard store; for shardscale it sets the top of
-// the power-of-two sweep.
+// mptbreakdown shardscale mergesched all. -shards N runs the COLE
+// systems of any experiment over an N-shard store; for shardscale it
+// sets the top of the power-of-two sweep. -merge-workers W bounds the
+// shared background merge pool (for mergesched: the top of its sweep);
+// -batch routes each block through the batched write pipeline (off by
+// default so the paper-replication figures keep the paper's per-Put
+// methodology; the shardscale/mergesched sweeps always batch); -json
+// writes every table (with raw measurements, including merge waits and
+// per-shard write counts) to a machine-readable report.
 package main
 
 import (
@@ -33,6 +40,9 @@ func main() {
 		ratio   = flag.Int("ratio", 0, "override size ratio T")
 		fanout  = flag.Int("fanout", 0, "override MHT fanout m")
 		shards  = flag.Int("shards", 0, "COLE shard count (shardscale: top of the 1,2,4,... sweep)")
+		workers = flag.Int("merge-workers", 0, "shared merge worker budget, 0 = GOMAXPROCS (mergesched: top of the 1,2,4,... sweep)")
+		batch   = flag.Bool("batch", false, "apply each block's writes as one PutBatch (COLE systems only; shardscale/mergesched always batch)")
+		jsonOut = flag.String("json", "", "also write a machine-readable report (tables + raw measurements) to this path")
 		scratch = flag.String("scratch", "", "scratch directory (default: system temp)")
 		seed    = flag.Int64("seed", 42, "workload seed")
 	)
@@ -57,9 +67,12 @@ func main() {
 	if *shards > 1 {
 		cfg.Shards = *shards
 	}
+	cfg.MergeWorkers = *workers
+	cfg.Batched = *batch
 	cfg.Seed = *seed
 	prov.ScratchDir = *scratch
 
+	var tables []*bench.Table
 	run := func(name string, f func() (*bench.Table, error)) {
 		start := time.Now()
 		t, err := f()
@@ -69,6 +82,7 @@ func main() {
 		}
 		fmt.Println(t.Render())
 		fmt.Printf("(%s finished in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+		tables = append(tables, t)
 	}
 
 	overall := bench.OverallOptions{Heights: heights, ScratchDir: *scratch,
@@ -116,13 +130,34 @@ func main() {
 		run("mptbreakdown", func() (*bench.Table, error) { return bench.MPTBreakdown(cfg, *scratch) })
 		any = true
 	}
+	// The write-pipeline sweeps measure block-batched ingestion, so they
+	// default to the paper's 100-tx blocks (an explicit -tx still wins):
+	// tiny preset blocks under-fill the batch and the per-block fixed
+	// costs drown the batching signal.
+	pipelineCfg := func() bench.Config {
+		c := cfg
+		if *tx == 0 {
+			c.TxPerBlock = 100
+		}
+		return c
+	}
 	if all || *exp == "shardscale" {
 		// The sweep compares shard counts itself, so the global override
 		// only sets its upper bound.
-		c := cfg
+		c := pipelineCfg()
 		c.Shards = 0
 		run("shardscale", func() (*bench.Table, error) {
-			return bench.ShardScaling(c, shardSweep(*shards), *scratch)
+			return bench.ShardScaling(c, powerSweep(*shards, 8), *scratch)
+		})
+		any = true
+	}
+	if all || *exp == "mergesched" {
+		// Likewise: the sweep compares worker budgets itself, so the
+		// global -merge-workers only sets its upper bound.
+		c := pipelineCfg()
+		c.MergeWorkers = 0
+		run("mergesched", func() (*bench.Table, error) {
+			return bench.MergeSched(c, powerSweep(*workers, 8), *scratch)
 		})
 		any = true
 	}
@@ -130,14 +165,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	if *jsonOut != "" {
+		if err := bench.NewReport(tables).WriteJSON(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *jsonOut)
+	}
 }
 
-// shardSweep returns the shard counts the scaling experiment visits:
-// powers of two below max, then max itself (so an explicit -shards value
-// is always measured; default top is 8).
-func shardSweep(max int) []int {
+// powerSweep returns the counts a sweep experiment visits: powers of two
+// below max, then max itself (so an explicit flag value is always
+// measured; def is the top when the flag is unset).
+func powerSweep(max, def int) []int {
 	if max < 1 {
-		max = 8
+		max = def
 	}
 	var counts []int
 	for n := 1; n < max; n *= 2 {

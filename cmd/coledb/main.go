@@ -29,12 +29,13 @@ import (
 
 func main() {
 	var (
-		dir    = flag.String("dir", "coledb", "store directory")
-		async  = flag.Bool("async", false, "use the asynchronous merge (COLE*)")
-		memB   = flag.Int("memcap", 4096, "in-memory level capacity B")
-		ratio  = flag.Int("ratio", 4, "size ratio T")
-		m      = flag.Int("fanout", 4, "MHT fanout m")
-		shards = flag.Int("shards", 0, "shard count for a fresh store (0 = adopt the directory's persisted count)")
+		dir     = flag.String("dir", "coledb", "store directory")
+		async   = flag.Bool("async", false, "use the asynchronous merge (COLE*)")
+		memB    = flag.Int("memcap", 4096, "in-memory level capacity B")
+		ratio   = flag.Int("ratio", 4, "size ratio T")
+		m       = flag.Int("fanout", 4, "MHT fanout m")
+		shards  = flag.Int("shards", 0, "shard count for a fresh store (0 = adopt the directory's persisted count)")
+		workers = flag.Int("merge-workers", 0, "background merge worker budget shared across all shards (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -46,7 +47,7 @@ func main() {
 	// sharded open serves every store directory, old or new.
 	store, err := cole.OpenSharded(cole.Options{
 		Dir: *dir, AsyncMerge: *async, MemCapacity: *memB, SizeRatio: *ratio, Fanout: *m,
-		Shards: *shards,
+		Shards: *shards, MergeWorkers: *workers,
 	})
 	if err != nil {
 		fail("open: %v", err)
@@ -59,17 +60,24 @@ func main() {
 			fail("put <height> <addr=value> ...")
 		}
 		h := parseU64(args[1])
-		if err := store.BeginBlock(h); err != nil {
-			fail("begin block: %v", err)
-		}
+		// The command's pairs form one block, so they land as one batch:
+		// pre-bucketed per shard, one engine call per bucket.
+		batch := make([]cole.Update, 0, len(args)-2)
 		for _, kv := range args[2:] {
 			parts := strings.SplitN(kv, "=", 2)
 			if len(parts) != 2 {
 				fail("bad pair %q, want addr=value", kv)
 			}
-			if err := store.Put(cole.AddressFromString(parts[0]), cole.ValueFromBytes([]byte(parts[1]))); err != nil {
-				fail("put: %v", err)
-			}
+			batch = append(batch, cole.Update{
+				Addr:  cole.AddressFromString(parts[0]),
+				Value: cole.ValueFromBytes([]byte(parts[1])),
+			})
+		}
+		if err := store.BeginBlock(h); err != nil {
+			fail("begin block: %v", err)
+		}
+		if err := store.PutBatch(batch); err != nil {
+			fail("put: %v", err)
 		}
 		root, err := store.Commit()
 		if err != nil {

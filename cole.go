@@ -28,6 +28,12 @@
 // (Options.AsyncMerge), which removes write stalls while keeping the
 // state root digest deterministic across nodes.
 //
+// Block-oriented ingestion should use PutBatch, which applies a block's
+// updates under one lock acquisition (and, on a sharded store, routes
+// them to all shards in one pass); background merges across all levels
+// and shards run on one bounded worker pool sized by
+// Options.MergeWorkers.
+//
 // The implementation lives in internal/ packages (engine, learned index,
 // Merkle files, MB-tree, and the paper's baselines); this package is the
 // stable public surface.
@@ -53,6 +59,10 @@ type Hash = types.Hash
 // Options configures a Store; zero values select the paper's defaults
 // (T = 4, m = 4, 4 KiB pages).
 type Options = core.Options
+
+// Update is one pending state write of a batch: Addr receives Value at
+// the height of the block the batch is applied to.
+type Update = types.Update
 
 // Version is one provenance result: the value held from block Blk.
 type Version = core.Version
@@ -108,6 +118,11 @@ func (s *Store) BeginBlock(height uint64) error { return s.engine.BeginBlock(hei
 
 // Put writes a state update into the open block.
 func (s *Store) Put(addr Address, v Value) error { return s.engine.Put(addr, v) }
+
+// PutBatch writes a block's updates under one lock acquisition, collapsing
+// duplicate addresses to their last write. Digests are byte-identical to
+// issuing the same updates through sequential Put calls.
+func (s *Store) PutBatch(updates []Update) error { return s.engine.PutBatch(updates) }
 
 // Commit seals the open block, runs any due flush/merge cascade, and
 // returns the state root digest Hstate for the block header.
@@ -194,6 +209,12 @@ func (s *ShardedStore) BeginBlock(height uint64) error { return s.store.BeginBlo
 
 // Put routes a state update to the owning shard.
 func (s *ShardedStore) Put(addr Address, v Value) error { return s.store.Put(addr, v) }
+
+// PutBatch pre-buckets a block's updates per shard and applies each
+// bucket concurrently with one engine call — the hot write path for
+// block-oriented ingestion. All shards' background merges share one
+// bounded worker pool (Options.MergeWorkers).
+func (s *ShardedStore) PutBatch(updates []Update) error { return s.store.PutBatch(updates) }
 
 // Commit seals the open block across all shards in parallel and returns
 // the combined state root digest for the block header. The digest is

@@ -55,7 +55,15 @@ type Config struct {
 	Fanout     int     // m
 	BloomFP    float64 // bloom false-positive target
 	Shards     int     // COLE shard count (0/1 = single engine)
-	Seed       int64
+	// MergeWorkers bounds the shared background merge pool for the COLE
+	// systems (0 = GOMAXPROCS); the budget spans every level of every
+	// shard.
+	MergeWorkers int
+	// Batched routes each block's writes through the batched pipeline
+	// (chain.Batched → PutBatch) instead of per-update Put calls.
+	// Digests are identical either way.
+	Batched bool
+	Seed    int64
 }
 
 // Defaults fills unset fields with laptop-scale values.
@@ -123,7 +131,18 @@ type Result struct {
 	IndexBytes   int64
 	Levels       int
 	Latency      LatencyStats
-	blockLats    []time.Duration
+	// MergeWaits counts merge back-pressure events (commits blocked on an
+	// unfinished merge + jobs queued behind a full worker pool); COLE
+	// systems only.
+	MergeWaits int64
+	// ShardPuts is the per-shard write count (sharded COLE only) and
+	// Imbalance its max/mean ratio — 1.0 is perfectly balanced routing.
+	// The counts are what reached the shards: a Batched run coalesces
+	// duplicate addresses inside each block before routing, so compare
+	// ShardPuts across runs with the same Batched setting.
+	ShardPuts []int64
+	Imbalance float64
+	blockLats []time.Duration
 }
 
 // backendHandle couples a backend with its measurement hooks.
@@ -131,20 +150,32 @@ type backendHandle struct {
 	backend chain.StateBackend
 	// measure returns (total, data, index) storage bytes and level count.
 	measure func() (int64, int64, int64, int)
-	close   func()
+	// stats returns merge-wait and per-shard put counters (zero/nil for
+	// the baselines).
+	stats func() (int64, []int64)
+	close func()
 }
 
 func openSystem(sys System, dir string, cfg Config) (*backendHandle, error) {
 	switch sys {
 	case SysCOLE, SysCOLEAsync:
 		o := core.Options{
-			Dir:         dir,
-			MemCapacity: cfg.MemCap,
-			SizeRatio:   cfg.SizeRatio,
-			Fanout:      cfg.Fanout,
-			BloomFP:     cfg.BloomFP,
-			AsyncMerge:  sys == SysCOLEAsync,
-			Shards:      cfg.Shards,
+			Dir:          dir,
+			MemCapacity:  cfg.MemCap,
+			SizeRatio:    cfg.SizeRatio,
+			Fanout:       cfg.Fanout,
+			BloomFP:      cfg.BloomFP,
+			AsyncMerge:   sys == SysCOLEAsync,
+			Shards:       cfg.Shards,
+			MergeWorkers: cfg.MergeWorkers,
+		}
+		// The batched pipeline buffers each block and lands it as one
+		// PutBatch; digests are unchanged, so it is purely a perf knob.
+		maybeBatch := func(b chain.BatchBackend) chain.StateBackend {
+			if cfg.Batched {
+				return chain.NewBatched(b)
+			}
+			return b
 		}
 		if cfg.Shards > 1 {
 			b, err := chain.OpenShardedCole(o)
@@ -152,11 +183,18 @@ func openSystem(sys System, dir string, cfg Config) (*backendHandle, error) {
 				return nil, err
 			}
 			return &backendHandle{
-				backend: b,
+				backend: maybeBatch(b),
 				measure: func() (int64, int64, int64, int) {
 					_ = b.Store.FlushAll()
 					sb := b.Store.Storage()
 					return sb.DataBytes + sb.IndexBytes, sb.DataBytes, sb.IndexBytes, sb.Levels
+				},
+				stats: func() (int64, []int64) {
+					puts := make([]int64, 0, b.Store.Shards())
+					for _, ss := range b.Store.ShardStats() {
+						puts = append(puts, ss.Puts)
+					}
+					return b.Store.Stats().MergeWaits, puts
 				},
 				close: func() { b.Close() },
 			}, nil
@@ -166,13 +204,16 @@ func openSystem(sys System, dir string, cfg Config) (*backendHandle, error) {
 			return nil, err
 		}
 		return &backendHandle{
-			backend: b,
+			backend: maybeBatch(b),
 			measure: func() (int64, int64, int64, int) {
 				// Persist L0 so on-disk size reflects all data, as the
 				// paper measures storage after the run.
 				_ = b.Engine.FlushAll()
 				sb := b.Engine.Storage()
 				return sb.DataBytes + sb.IndexBytes, sb.DataBytes, sb.IndexBytes, sb.Levels
+			},
+			stats: func() (int64, []int64) {
+				return b.Engine.Stats().MergeWaits, nil
 			},
 			close: func() { b.Close() },
 		}, nil
@@ -267,8 +308,33 @@ func Run(sys System, wl Workload, cfg Config, dir string) (Result, error) {
 	res.Elapsed = time.Since(start)
 	res.TPS = float64(res.Txs) / res.Elapsed.Seconds()
 	res.Latency = Summarize(res.blockLats)
+	if h.stats != nil {
+		res.MergeWaits, res.ShardPuts = h.stats()
+		res.Imbalance = imbalance(res.ShardPuts)
+	}
 	res.StorageBytes, res.DataBytes, res.IndexBytes, res.Levels = h.measure()
 	return res, nil
+}
+
+// imbalance is max/mean of the per-shard write counts: 1.0 means the hash
+// partitioner routed perfectly evenly, 2.0 means the hottest shard took
+// twice its fair share (and is the commit straggler).
+func imbalance(counts []int64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	var total, max int64
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(counts))
+	return float64(max) / mean
 }
 
 func makeWorkload(wl Workload, cfg Config) (blockSource, []chain.Tx, error) {
@@ -287,7 +353,14 @@ type Table struct {
 	Title   string
 	Columns []string
 	Rows    [][]string
-	Notes   []string
+	Notes   []string `json:",omitempty"`
+	// Results carries the raw measurements behind the rows for machine
+	// consumers (the -json flag): unlike the rendered cells these keep
+	// MergeWaits, per-shard put counts, and the latency summary, so
+	// merge tuning is comparable across runs. Experiments that want
+	// their data tracked append here; render-only experiments leave it
+	// nil.
+	Results []Result `json:",omitempty"`
 }
 
 // Render formats the table for terminal output.

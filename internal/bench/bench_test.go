@@ -1,6 +1,9 @@
 package bench
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -115,6 +118,78 @@ func TestFig15TinyRuns(t *testing.T) {
 	}
 	if len(tab.Rows) != 2*2 {
 		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+}
+
+func TestBatchedRunMatchesUnbatched(t *testing.T) {
+	// Batched is a pure perf knob: the run must succeed and produce the
+	// same number of transactions, and a sharded batched run must record
+	// merge-tuning observability data.
+	cfg := tiny()
+	cfg.Batched = true
+	cfg.Shards = 2
+	res, err := Run(SysCOLEAsync, WorkloadKVStore, cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Txs != cfg.Blocks*cfg.TxPerBlock || res.TPS <= 0 {
+		t.Fatalf("implausible batched result: %+v", res)
+	}
+	if len(res.ShardPuts) != 2 {
+		t.Fatalf("sharded run recorded %d shard put counts, want 2", len(res.ShardPuts))
+	}
+	if res.Imbalance < 1 {
+		t.Fatalf("imbalance %.2f below 1 (max/mean cannot be)", res.Imbalance)
+	}
+}
+
+func TestMergeSchedTiny(t *testing.T) {
+	cfg := tiny()
+	cfg.Shards = 2
+	tab, err := MergeSched(cfg, []int{1, 2}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 || len(tab.Results) != 4 { // 2 systems × 2 budgets
+		t.Fatalf("rows=%d results=%d, want 4 each", len(tab.Rows), len(tab.Results))
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	cfg := tiny()
+	cfg.Shards = 2
+	tab, err := ShardScaling(cfg, []int{1, 2}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := NewReport([]*Table{tab}).WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(got.Tables) != 1 || len(got.Tables[0].Results) != 4 {
+		t.Fatalf("round-trip lost data: %+v", got)
+	}
+	// The machine-readable results must expose the merge-tuning fields
+	// (MergeWaits always, ShardPuts for the multi-shard runs).
+	multi := 0
+	for _, r := range got.Tables[0].Results {
+		if len(r.ShardPuts) > 0 {
+			multi++
+		}
+	}
+	if multi != 2 { // one 2-shard run per system
+		t.Fatalf("%d results carry per-shard put counts, want 2", multi)
+	}
+	if !strings.Contains(string(raw), "MergeWaits") {
+		t.Fatal("report JSON does not record MergeWaits")
 	}
 }
 

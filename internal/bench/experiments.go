@@ -259,7 +259,13 @@ func buildProvStore(sys System, cfg Config, opts ProvOptions, dir string) (*prov
 		}
 	}
 	ps := &provStore{sys: sys, height: c.Height(), h: h}
-	switch b := h.backend.(type) {
+	// The batched pipeline wraps the COLE backends; provenance queries
+	// need the concrete store behind it.
+	backend := h.backend
+	if bb, ok := backend.(*chain.Batched); ok {
+		backend = bb.Inner()
+	}
+	switch b := backend.(type) {
 	case *chain.ColeBackend:
 		ps.cole = b.Engine
 	case *chain.ShardedColeBackend:

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Report is the machine-readable form of a colebench invocation: every
+// experiment's table (with raw Results where the experiment records
+// them) plus enough host context to compare runs. CI uploads this as a
+// workflow artifact so merge tuning is observable across commits.
+type Report struct {
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Tables     []*Table `json:"tables"`
+}
+
+// NewReport stamps a report around the given tables.
+func NewReport(tables []*Table) *Report {
+	return &Report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Tables:     tables,
+	}
+}
+
+// WriteJSON writes the report to path (atomically: temp + rename).
+func (r *Report) WriteJSON(path string) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"cole/internal/workload"
+)
+
+// MergeSched sweeps the shared merge-worker budget at a fixed shard
+// count: the KVStore write-only mix through batched COLE and COLE*
+// stores whose background flush/merge jobs all run on a pool of W
+// workers, for W in `workers`. A budget of 1 serializes every merge in
+// the store (maximum back-pressure, visible as mergewaits); budgets at
+// or above shards × levels approximate the old unbounded behavior. The
+// sweet spot — where TPS flattens while mergewaits is still low — is the
+// value to pin -merge-workers to in deployment.
+func MergeSched(cfg Config, workers []int, scratch string) (*Table, error) {
+	cfg = cfg.Defaults()
+	if cfg.Shards < 2 {
+		cfg.Shards = 4
+	}
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	}
+	cfg.Mix = int(workload.WriteOnly)
+	cfg.Batched = true
+	t := &Table{
+		Title:   fmt.Sprintf("Merge scheduler: throughput vs worker budget (%d shards, KVStore WO, batched writes)", cfg.Shards),
+		Columns: []string{"workers", "system", "throughput(TPS)", "speedup", "mergewaits", "median", "max(tail)"},
+		Notes: []string{
+			"workers bounds concurrently running flush/merge jobs across ALL shards and levels",
+			"mergewaits: commits blocked on unfinished merges + jobs queued behind a full pool",
+			"speedup is relative to the 1-worker run of the same system",
+		},
+	}
+	for _, sys := range []System{SysCOLE, SysCOLEAsync} {
+		var base float64
+		for _, w := range workers {
+			c := cfg
+			c.MergeWorkers = w
+			dir, err := tempDir(scratch, "mergesched")
+			if err != nil {
+				return nil, err
+			}
+			res, err := Run(sys, WorkloadKVStore, c, dir)
+			cleanup(dir)
+			if err != nil {
+				return nil, fmt.Errorf("%s with %d merge workers: %w", sys, w, err)
+			}
+			if base == 0 {
+				base = res.TPS
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(w), string(sys), fmt.Sprintf("%.0f", res.TPS),
+				fmt.Sprintf("%.2fx", res.TPS/base),
+				fmt.Sprint(res.MergeWaits),
+				fmtDur(res.Latency.P50), fmtDur(res.Latency.Max),
+			})
+			t.Results = append(t.Results, res)
+		}
+	}
+	return t, nil
+}

@@ -33,6 +33,9 @@ func (b *ColeBackend) BeginBlock(h uint64) error { return b.Engine.BeginBlock(h)
 // Put implements StateBackend.
 func (b *ColeBackend) Put(addr types.Address, v types.Value) error { return b.Engine.Put(addr, v) }
 
+// PutBatch implements BatchBackend.
+func (b *ColeBackend) PutBatch(updates []types.Update) error { return b.Engine.PutBatch(updates) }
+
 // Get implements StateBackend.
 func (b *ColeBackend) Get(addr types.Address) (types.Value, bool, error) {
 	return b.Engine.Get(addr)
@@ -66,6 +69,11 @@ func (b *ShardedColeBackend) BeginBlock(h uint64) error { return b.Store.BeginBl
 // Put implements StateBackend.
 func (b *ShardedColeBackend) Put(addr types.Address, v types.Value) error {
 	return b.Store.Put(addr, v)
+}
+
+// PutBatch implements BatchBackend.
+func (b *ShardedColeBackend) PutBatch(updates []types.Update) error {
+	return b.Store.PutBatch(updates)
 }
 
 // Get implements StateBackend.

@@ -1,0 +1,121 @@
+package chain
+
+import (
+	"math/rand"
+	"testing"
+
+	"cole/internal/core"
+	"cole/internal/types"
+)
+
+// txBlocks generates deterministic SmallBank-flavored blocks whose
+// transactions read what earlier transactions in the same block wrote
+// (SendPayment chains), stressing the batched pipeline's block-local
+// overlay.
+func txBlocks(seed int64, blocks, perBlock int) [][]Tx {
+	r := rand.New(rand.NewSource(seed))
+	out := make([][]Tx, blocks)
+	acct := func() string { return string(rune('a' + r.Intn(8))) }
+	for b := range out {
+		txs := make([]Tx, perBlock)
+		for i := range txs {
+			switch r.Intn(4) {
+			case 0:
+				txs[i] = Tx{Kind: TxTransactSavings, A: acct(), Amount: uint64(r.Intn(100))}
+			case 1:
+				txs[i] = Tx{Kind: TxDepositChecking, A: acct(), Amount: uint64(r.Intn(100))}
+			case 2:
+				txs[i] = Tx{Kind: TxSendPayment, A: acct(), B: acct(), Amount: uint64(r.Intn(50))}
+			default:
+				txs[i] = Tx{Kind: TxWriteCheck, A: acct(), Amount: uint64(r.Intn(30))}
+			}
+		}
+		out[b] = txs
+	}
+	return out
+}
+
+// TestBatchedHeadersMatchUnbatched executes the same transaction stream
+// through a plain COLE backend and a Batched one: every header (Htx and
+// Hstate) must be identical, because PutBatch is byte-compatible with
+// sequential Put and the overlay preserves read-your-writes.
+func TestBatchedHeadersMatchUnbatched(t *testing.T) {
+	opts := func(dir string) core.Options {
+		return core.Options{Dir: dir, MemCapacity: 64, SizeRatio: 2}
+	}
+	plain, err := OpenCole(opts(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	inner, err := OpenCole(opts(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched := NewBatched(inner)
+	defer batched.Close()
+
+	cp := New(plain, 0)
+	cb := New(batched, 0)
+	for _, txs := range txBlocks(7, 40, 25) {
+		hp, err := cp.ExecuteBlock(txs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb, err := cb.ExecuteBlock(txs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hp != hb {
+			t.Fatalf("block %d: batched header %+v != unbatched %+v", hp.Height, hb, hp)
+		}
+	}
+	if err := VerifyHeaderChain(cb.Headers()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchedReadYourWrites checks a Get inside an open block sees the
+// block's own buffered writes, and that the buffer resets across blocks.
+func TestBatchedReadYourWrites(t *testing.T) {
+	inner, err := OpenCole(core.Options{Dir: t.TempDir(), MemCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatched(inner)
+	defer b.Close()
+
+	addr := types.AddressFromString("x")
+	if err := b.BeginBlock(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := b.Get(addr); ok {
+		t.Fatal("unwritten address found")
+	}
+	if err := b.Put(addr, types.ValueFromUint64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := b.Get(addr); !ok || v != types.ValueFromUint64(1) {
+		t.Fatalf("in-block read missed the buffered write: ok=%v v=%v", ok, v.Uint64())
+	}
+	if err := b.Put(addr, types.ValueFromUint64(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Next block: the overlay is empty again but the store has the value.
+	if err := b.BeginBlock(2); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := b.Get(addr); !ok || v != types.ValueFromUint64(2) {
+		t.Fatalf("committed value lost after buffer reset: ok=%v v=%v", ok, v.Uint64())
+	}
+	if _, err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A Put outside a block is rejected (the buffer has no target).
+	if err := b.Put(addr, types.ValueFromUint64(3)); err == nil {
+		t.Fatal("Put outside a block succeeded")
+	}
+}

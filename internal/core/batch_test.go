@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cole/internal/types"
+)
+
+// batchFor deterministically generates block h's updates, with every
+// fourth update duplicating an earlier address in the batch (stale value
+// first, final value last) to exercise last-write-wins coalescing.
+func batchFor(h uint64, writes, accounts int) []Update {
+	r := rand.New(rand.NewSource(int64(h)))
+	batch := make([]Update, 0, writes+writes/4)
+	for w := 0; w < writes; w++ {
+		addr := types.AddressFromUint64(uint64(r.Intn(accounts)))
+		if w%4 == 3 {
+			batch = append(batch, Update{Addr: addr, Value: types.ValueFromUint64(0xdead)})
+		}
+		batch = append(batch, Update{Addr: addr, Value: types.ValueFromUint64(h*1000 + uint64(w))})
+	}
+	return batch
+}
+
+// TestPutBatchMatchesSequentialPut drives the identical update stream
+// through one engine via PutBatch and another via a sequential Put loop,
+// across enough blocks to trigger flush cascades and level merges, in
+// both merge modes. Every block's digest must be byte-identical — the
+// acceptance bar that makes the batched pipeline a pure performance knob.
+func TestPutBatchMatchesSequentialPut(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		t.Run(fmt.Sprintf("async=%v", async), func(t *testing.T) {
+			eb := openEngine(t, testOpts(t, async))
+			es := openEngine(t, testOpts(t, async))
+			const blocks, writes, accounts = 80, 12, 40
+			for h := uint64(1); h <= blocks; h++ {
+				batch := batchFor(h, writes, accounts)
+				if err := eb.BeginBlock(h); err != nil {
+					t.Fatal(err)
+				}
+				if err := eb.PutBatch(batch); err != nil {
+					t.Fatal(err)
+				}
+				if err := es.BeginBlock(h); err != nil {
+					t.Fatal(err)
+				}
+				for _, u := range batch {
+					if err := es.Put(u.Addr, u.Value); err != nil {
+						t.Fatal(err)
+					}
+				}
+				rb, err := eb.Commit()
+				if err != nil {
+					t.Fatal(err)
+				}
+				rs, err := es.Commit()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rb != rs {
+					t.Fatalf("block %d: PutBatch digest %s != sequential Put digest %s", h, rb, rs)
+				}
+			}
+			// The structures must agree too, not just the digests.
+			if lb, ls := fmt.Sprint(eb.LevelRunCounts()), fmt.Sprint(es.LevelRunCounts()); lb != ls {
+				t.Fatalf("level run counts diverge: %s vs %s", lb, ls)
+			}
+		})
+	}
+}
+
+// TestPutBatchDedupLastWriteWins writes one batch with duplicate
+// addresses and checks the engine keeps exactly one entry per address,
+// holding the batch's final value.
+func TestPutBatchDedupLastWriteWins(t *testing.T) {
+	e := openEngine(t, testOpts(t, false))
+	a := types.AddressFromUint64(1)
+	b := types.AddressFromUint64(2)
+	if err := e.BeginBlock(1); err != nil {
+		t.Fatal(err)
+	}
+	err := e.PutBatch([]Update{
+		{Addr: a, Value: types.ValueFromUint64(10)},
+		{Addr: b, Value: types.ValueFromUint64(20)},
+		{Addr: a, Value: types.ValueFromUint64(11)},
+		{Addr: a, Value: types.ValueFromUint64(12)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := e.MemEntries(); w != 2 {
+		t.Fatalf("L0 holds %d entries after a 4-update batch over 2 addresses", w)
+	}
+	if _, err := e.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := e.Get(a)
+	if err != nil || !ok {
+		t.Fatalf("get a: ok=%v err=%v", ok, err)
+	}
+	if v != types.ValueFromUint64(12) {
+		t.Fatalf("a = %v, want the batch's last write 12", v.Uint64())
+	}
+	// The provenance view must show ONE version for the block, not three.
+	versions, _, err := e.ProvQuery(a, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 1 || versions[0].Value != types.ValueFromUint64(12) {
+		t.Fatalf("prov versions = %+v, want exactly one with value 12", versions)
+	}
+}
+
+// TestPutBatchOutsideBlock checks the lifecycle guard.
+func TestPutBatchOutsideBlock(t *testing.T) {
+	e := openEngine(t, testOpts(t, false))
+	if err := e.PutBatch([]Update{{Addr: types.AddressFromUint64(1)}}); err == nil {
+		t.Fatal("PutBatch outside a block succeeded")
+	}
+	// An empty batch is a no-op even outside a block.
+	if err := e.PutBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestPutBatchCrashReplay commits batches past several cascades, crashes
+// (Close without FlushAll), reopens, and replays the lost blocks with
+// the same batches: the recovered digest must match the pre-crash one.
+func TestPutBatchCrashReplay(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		t.Run(fmt.Sprintf("async=%v", async), func(t *testing.T) {
+			opts := testOpts(t, async)
+			e, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 61 blocks of ~10 unique writes against B=32: the final
+			// block leaves L0 residue in both merge modes, so the crash
+			// actually loses state and replay has work to do.
+			const blocks, writes, accounts = 61, 10, 30
+			var pre types.Hash
+			for h := uint64(1); h <= blocks; h++ {
+				if err := e.BeginBlock(h); err != nil {
+					t.Fatal(err)
+				}
+				if err := e.PutBatch(batchFor(h, writes, accounts)); err != nil {
+					t.Fatal(err)
+				}
+				if pre, err = e.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.Close(); err != nil { // crash: L0 lost
+				t.Fatal(err)
+			}
+
+			e2, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e2.Close()
+			ckpt := e2.CheckpointHeight()
+			if ckpt >= blocks {
+				t.Fatalf("checkpoint %d leaves nothing to replay", ckpt)
+			}
+			for h := ckpt + 1; h <= blocks; h++ {
+				if err := e2.BeginBlock(h); err != nil {
+					t.Fatal(err)
+				}
+				if err := e2.PutBatch(batchFor(h, writes, accounts)); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := e2.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := e2.RootDigest(); got != pre {
+				t.Fatalf("replayed digest %s != pre-crash digest %s", got, pre)
+			}
+		})
+	}
+}

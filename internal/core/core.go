@@ -31,11 +31,14 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"cole/internal/bloom"
 	"cole/internal/mbtree"
+	"cole/internal/merge"
 	"cole/internal/pagefile"
 	"cole/internal/run"
+	"cole/internal/types"
 )
 
 // Options configures an Engine.
@@ -71,6 +74,12 @@ type Options struct {
 	// (internal/shard, cole.OpenSharded); a single Engine always serves
 	// exactly one shard and ignores this field.
 	Shards int
+	// MergeWorkers bounds how many background flush/merge jobs run
+	// concurrently. 0 selects GOMAXPROCS. A sharded store opens its
+	// engines over one shared pool sized by this field, so the budget
+	// covers every level of every shard; jobs beyond it queue, and the
+	// resulting back-pressure surfaces as Stats.MergeWaits.
+	MergeWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -189,7 +198,20 @@ type Engine struct {
 	// unlinked only after the manifest no longer references them.
 	pending []*run.Run
 
+	// sched runs every background flush/merge job; possibly shared with
+	// other engines (one pool across all shards of a sharded store).
+	sched *merge.Scheduler
+
+	// PutBatch dedup scratch, reused across blocks so the hot batch path
+	// stays allocation-free (guarded by mu).
+	batchIndex map[types.Address]int
+	batchBuf   []Update
+
 	stats Stats
+	// mergeWaits is kept outside stats (atomic, not mu-guarded) because
+	// it is incremented from job goroutines that may be queuing while the
+	// committing thread holds mu waiting on those very jobs.
+	mergeWaits atomic.Int64
 }
 
 // Stats aggregates engine counters for the benchmark harness.
@@ -199,13 +221,24 @@ type Stats struct {
 	ProvQueries int64
 	Flushes     int64
 	Merges      int64
-	// MergeWaits counts commit checkpoints that had to block on an
-	// unfinished merge thread (async mode back-pressure).
+	// MergeWaits counts back-pressure events on the merge pool: commit
+	// checkpoints that had to block on an unfinished merge job, plus jobs
+	// that found the shared worker pool saturated and queued before
+	// starting.
 	MergeWaits int64
 }
 
-// Open creates or reopens a COLE store in opts.Dir.
+// Open creates or reopens a COLE store in opts.Dir with its own merge
+// pool of opts.MergeWorkers workers.
 func Open(opts Options) (*Engine, error) {
+	return OpenWithScheduler(opts, nil)
+}
+
+// OpenWithScheduler creates or reopens a COLE store whose background
+// flush/merge jobs run on sched; a nil sched gets a private pool of
+// opts.MergeWorkers workers. The shard layer opens all its engines over
+// one shared scheduler so the merge budget covers the whole store.
+func OpenWithScheduler(opts Options, sched *merge.Scheduler) (*Engine, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -213,7 +246,10 @@ func Open(opts Options) (*Engine, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	e := &Engine{opts: opts}
+	if sched == nil {
+		sched = merge.New(opts.MergeWorkers)
+	}
+	e := &Engine{opts: opts, sched: sched}
 	for i := range e.mem {
 		g, err := newMemGroup(opts)
 		if err != nil {
@@ -409,8 +445,19 @@ func (e *Engine) CheckpointHeight() uint64 {
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.stats
+	st := e.stats
+	st.MergeWaits = e.mergeWaits.Load()
+	return st
 }
+
+// noteMergeWait records one back-pressure event. Safe from job goroutines:
+// it must not take e.mu (the committer may hold it while waiting on the
+// job that is reporting the wait).
+func (e *Engine) noteMergeWait() { e.mergeWaits.Add(1) }
+
+// Scheduler exposes the engine's merge pool (shared across shards when
+// the store is sharded), for introspection and tests.
+func (e *Engine) Scheduler() *merge.Scheduler { return e.sched }
 
 // LevelRunCounts returns, per on-disk level, the number of committed runs
 // (both groups), for introspection and tests.

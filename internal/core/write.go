@@ -41,6 +41,64 @@ func (e *Engine) Put(addr types.Address, value types.Value) error {
 	return nil
 }
 
+// Update is one pending state write of a batch (alias of types.Update).
+type Update = types.Update
+
+// PutBatch applies a block's updates under a single lock acquisition:
+// duplicates of an address collapse to the last write before touching the
+// tree (within a block only the final value of an address matters — the
+// compound key ⟨addr, height⟩ is the same for every one of them).
+//
+// Updates are applied in first-occurrence order, NOT sorted: the L0
+// MB-tree's shape (and therefore its root hash) depends on insertion
+// order, and Insert overwrites an existing compound key in place, so
+// first-occurrence order with last-write-wins values reproduces the tree
+// a sequential Put loop builds — PutBatch and looped Put yield
+// byte-identical digests.
+func (e *Engine) PutBatch(updates []Update) error {
+	if len(updates) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.inBlock {
+		return fmt.Errorf("core: PutBatch outside a block; call BeginBlock first")
+	}
+	g := e.mem[e.memWriting]
+	if len(updates) == 1 {
+		g.tree.Insert(types.CompoundKey{Addr: updates[0].Addr, Blk: e.height}, updates[0].Value)
+		g.filter.Add(updates[0].Addr)
+		e.stats.Puts++
+		return nil
+	}
+	// Dedup into the engine's scratch (the caller's batch is not
+	// mutated; the scratch is reused across calls to keep the hot path
+	// allocation-free once warm).
+	if e.batchIndex == nil {
+		e.batchIndex = make(map[types.Address]int, len(updates))
+	} else {
+		clear(e.batchIndex)
+	}
+	deduped := e.batchBuf[:0]
+	for _, u := range updates {
+		if i, ok := e.batchIndex[u.Addr]; ok {
+			deduped[i].Value = u.Value
+			continue
+		}
+		e.batchIndex[u.Addr] = len(deduped)
+		deduped = append(deduped, u)
+	}
+	e.batchBuf = deduped
+	for _, u := range deduped {
+		g.tree.Insert(types.CompoundKey{Addr: u.Addr, Blk: e.height}, u.Value)
+		g.filter.Add(u.Addr)
+	}
+	// Puts counts submitted updates (what the workload issued), matching
+	// the sequential-Put accounting.
+	e.stats.Puts += int64(len(updates))
+	return nil
+}
+
 // Commit finalizes the current block: it runs the flush/merge cascade if
 // the L0 writing group is full, persists the manifest when the structure
 // changed, and returns the block's state root digest Hstate.
@@ -131,13 +189,20 @@ func collectTree(g *memGroup) []types.Entry {
 }
 
 // cascadeSync is Algorithm 1: flush L0 into L1, then merge every full
-// level into the next, inline.
+// level into the next, inline. The run builds execute on the shared merge
+// pool (blocking until done): one engine sees no difference, but the
+// parallel per-shard commits of a sharded store stay within the store's
+// worker budget instead of each running a full cascade at once.
 func (e *Engine) cascadeSync() error {
 	g := e.mem[e.memWriting]
 	entries := collectTree(g)
 	id := e.nextRunID
 	e.nextRunID++
-	r, err := run.Build(e.opts.Dir, id, int64(len(entries)), e.opts.runParams(), run.NewSliceIterator(entries))
+	var r *run.Run
+	var err error
+	e.sched.Run(func() {
+		r, err = run.Build(e.opts.Dir, id, int64(len(entries)), e.opts.runParams(), run.NewSliceIterator(entries))
+	}, e.noteMergeWait)
 	if err != nil {
 		return fmt.Errorf("core: flush L0: %w", err)
 	}
@@ -221,7 +286,7 @@ func (e *Engine) commitMerge(ms *mergeState, destLevel int) error {
 	default:
 		// Slow node: the interval between start and commit checkpoints was
 		// not enough; block until the merge finishes (Algorithm 5 line 9).
-		e.stats.MergeWaits++
+		e.mergeWaits.Add(1)
 		<-ms.done
 	}
 	if ms.err != nil {
@@ -232,14 +297,14 @@ func (e *Engine) commitMerge(ms *mergeState, destLevel int) error {
 	return nil
 }
 
-// startMemFlush launches the L0 flush goroutine: it snapshots the merging
-// group's tree and builds a new L1 run. The run id is assigned here, under
-// the engine lock, so ids are deterministic.
+// startMemFlush submits the L0 flush job to the merge pool: it snapshots
+// the merging group's tree and builds a new L1 run. The run id is
+// assigned here, under the engine lock, so ids are deterministic.
 func (e *Engine) startMemFlush(g *memGroup) *mergeState {
 	id := e.nextRunID
 	e.nextRunID++
 	ms := &mergeState{done: make(chan struct{})}
-	go func() {
+	e.sched.Submit(func() {
 		defer close(ms.done)
 		entries := collectTree(g)
 		r, err := run.Build(e.opts.Dir, id, int64(len(entries)), e.opts.runParams(), run.NewSliceIterator(entries))
@@ -248,11 +313,11 @@ func (e *Engine) startMemFlush(g *memGroup) *mergeState {
 			return
 		}
 		ms.newRun = r
-	}()
+	}, e.noteMergeWait)
 	return ms
 }
 
-// startLevelMerge launches the sort-merge of a level's merging group into
+// startLevelMerge submits the sort-merge of a level's merging group into
 // a run destined for the next level.
 func (e *Engine) startLevelMerge(levelIdx int, runs []*run.Run) *mergeState {
 	id := e.nextRunID
@@ -262,7 +327,7 @@ func (e *Engine) startLevelMerge(levelIdx int, runs []*run.Run) *mergeState {
 		count += r.Count()
 	}
 	ms := &mergeState{done: make(chan struct{})}
-	go func() {
+	e.sched.Submit(func() {
 		defer close(ms.done)
 		it := newKWayIterator(runs)
 		r, err := run.Build(e.opts.Dir, id, count, e.opts.runParams(), it)
@@ -275,12 +340,12 @@ func (e *Engine) startLevelMerge(levelIdx int, runs []*run.Run) *mergeState {
 			return
 		}
 		ms.newRun = r
-	}()
+	}, e.noteMergeWait)
 	return ms
 }
 
 // buildMergedRun sort-merges a group of runs synchronously (Algorithm 1
-// lines 8–11).
+// lines 8–11), on the shared merge pool.
 func (e *Engine) buildMergedRun(runs []*run.Run) (*run.Run, error) {
 	id := e.nextRunID
 	e.nextRunID++
@@ -288,13 +353,17 @@ func (e *Engine) buildMergedRun(runs []*run.Run) (*run.Run, error) {
 	for _, r := range runs {
 		count += r.Count()
 	}
-	it := newKWayIterator(runs)
-	merged, err := run.Build(e.opts.Dir, id, count, e.opts.runParams(), it)
+	var merged *run.Run
+	var err error
+	e.sched.Run(func() {
+		it := newKWayIterator(runs)
+		merged, err = run.Build(e.opts.Dir, id, count, e.opts.runParams(), it)
+		if err == nil {
+			err = it.Err()
+		}
+	}, e.noteMergeWait)
 	if err != nil {
 		return nil, fmt.Errorf("core: level merge: %w", err)
-	}
-	if err := it.Err(); err != nil {
-		return nil, err
 	}
 	return merged, nil
 }

@@ -1,0 +1,104 @@
+// Package merge provides the bounded worker pool behind every COLE
+// background flush and merge.
+//
+// The engine used to spawn an unbounded goroutine per flush/merge, which
+// is fine for one store but pathological for a sharded one: N shards ×
+// L levels can put N·L run builds on the CPU at once, and at small scale
+// the scheduling and page-cache churn makes sharded COLE* slower than a
+// single engine. A Scheduler caps the number of *running* jobs at a fixed
+// worker budget (default GOMAXPROCS); every level of every shard submits
+// its jobs to the same pool, so aggregate merge work is bounded no matter
+// how many partitions the store has.
+//
+// Submissions never block the caller: a job that cannot start immediately
+// queues inside its own goroutine, and the queuing event is reported
+// through the per-job onWait hook so engines can account back-pressure
+// (core.Stats.MergeWaits). Determinism is unaffected — COLE*'s digests
+// are checkpoint-based and independent of merge timing by construction
+// (§5), so delaying a job's start only ever delays its commit checkpoint.
+package merge
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Scheduler is a bounded pool for background flush/merge jobs. The zero
+// value is not usable; construct with New. A Scheduler has no shutdown:
+// it holds no goroutines of its own, and callers join their jobs through
+// the done channels they already own (Engine.Close waits on every
+// in-flight merge).
+type Scheduler struct {
+	slots chan struct{} // buffered; one token per running job
+
+	submitted atomic.Int64
+	waited    atomic.Int64
+}
+
+// New creates a scheduler running at most `workers` jobs concurrently;
+// workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{slots: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency budget.
+func (s *Scheduler) Workers() int { return cap(s.slots) }
+
+// acquire takes a worker slot, reporting (once) through onWait if the
+// pool was saturated and the job had to queue.
+func (s *Scheduler) acquire(onWait func()) {
+	select {
+	case s.slots <- struct{}{}:
+		return
+	default:
+	}
+	s.waited.Add(1)
+	if onWait != nil {
+		onWait()
+	}
+	s.slots <- struct{}{}
+}
+
+func (s *Scheduler) release() { <-s.slots }
+
+// Submit schedules job on the pool and returns immediately; the caller
+// observes completion through whatever channel the job closes. onWait, if
+// non-nil, is invoked once from the job's goroutine if the pool was full
+// and the job had to queue before starting. onWait must not block on
+// locks held across a wait for the job's completion, or the wait
+// deadlocks — engines use an atomic counter.
+func (s *Scheduler) Submit(job func(), onWait func()) {
+	s.submitted.Add(1)
+	go func() {
+		s.acquire(onWait)
+		defer s.release()
+		job()
+	}()
+}
+
+// Run executes job under the pool's budget and blocks until it returns:
+// the synchronous-merge path (Algorithm 1 runs its cascade inline, but a
+// sharded store commits many cascades in parallel goroutines, which this
+// keeps bounded). onWait follows the Submit contract.
+func (s *Scheduler) Run(job func(), onWait func()) {
+	s.submitted.Add(1)
+	s.acquire(onWait)
+	defer s.release()
+	job()
+}
+
+// Stats is a snapshot of scheduler counters.
+type Stats struct {
+	// Submitted counts jobs handed to the pool (Submit and Run).
+	Submitted int64
+	// Waited counts jobs that found the pool saturated and queued.
+	Waited int64
+}
+
+// Stats returns the scheduler counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{Submitted: s.submitted.Load(), Waited: s.waited.Load()}
+}

@@ -1,0 +1,96 @@
+package merge
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBoundedConcurrency floods a 2-worker pool with slow jobs and checks
+// that no more than 2 ever run at once while all of them finish.
+func TestBoundedConcurrency(t *testing.T) {
+	const workers, jobs = 2, 20
+	s := New(workers)
+	if s.Workers() != workers {
+		t.Fatalf("Workers() = %d, want %d", s.Workers(), workers)
+	}
+	var running, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		s.Submit(func() {
+			defer wg.Done()
+			n := running.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			running.Add(-1)
+		}, nil)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > workers {
+		t.Fatalf("%d jobs ran concurrently on a %d-worker pool", p, workers)
+	}
+	st := s.Stats()
+	if st.Submitted != jobs {
+		t.Fatalf("Submitted = %d, want %d", st.Submitted, jobs)
+	}
+	// 20 slow jobs on 2 workers must have queued at least once.
+	if st.Waited == 0 {
+		t.Fatal("no job ever waited on a saturated 2-worker pool")
+	}
+}
+
+// TestOnWaitReporting holds the pool's only slot and checks the queued
+// job reports its wait exactly once.
+func TestOnWaitReporting(t *testing.T) {
+	s := New(1)
+	started := make(chan struct{})
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	s.Submit(func() { defer wg.Done(); close(started); <-block }, nil)
+	<-started // the only slot is now held
+	var waits atomic.Int64
+	s.Submit(func() { defer wg.Done() }, func() { waits.Add(1) })
+	// The queued job reports its wait before blocking on the slot.
+	for waits.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	wg.Wait()
+	if w := waits.Load(); w != 1 {
+		t.Fatalf("onWait fired %d times, want 1", w)
+	}
+}
+
+// TestRunBlocksUntilDone checks the synchronous path completes the job
+// before returning, under contention.
+func TestRunBlocksUntilDone(t *testing.T) {
+	s := New(1)
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	s.Submit(func() { defer wg.Done(); time.Sleep(5 * time.Millisecond) }, nil)
+	s.Run(func() { done.Store(true) }, nil)
+	if !done.Load() {
+		t.Fatal("Run returned before the job executed")
+	}
+	wg.Wait()
+}
+
+// TestDefaultWorkers checks workers <= 0 selects GOMAXPROCS.
+func TestDefaultWorkers(t *testing.T) {
+	if got, want := New(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("New(0).Workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := New(-3).Workers(); got < 1 {
+		t.Fatalf("New(-3).Workers() = %d", got)
+	}
+}

@@ -1,0 +1,96 @@
+package mht
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"cole/internal/types"
+)
+
+// TestProveRangeOfMatchesFile cross-checks the in-memory prover against
+// the on-disk one: for the same leaves, every range proof must verify to
+// the same root, and the in-memory proof must carry the same sibling
+// geometry the file-based prover produces.
+func TestProveRangeOfMatchesFile(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{{1, 4}, {5, 2}, {16, 4}, {37, 3}, {100, 4}} {
+		t.Run(fmt.Sprintf("n=%d_m=%d", tc.n, tc.m), func(t *testing.T) {
+			leaves := make([]types.Hash, tc.n)
+			for i := range leaves {
+				leaves[i] = types.HashData([]byte{byte(i), byte(i >> 8), byte(tc.m)})
+			}
+			root := RootOf(leaves, tc.m)
+
+			path := filepath.Join(t.TempDir(), "mht")
+			w, err := CreateWriter(path, int64(tc.n), tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, l := range leaves {
+				if err := w.Add(l); err != nil {
+					t.Fatal(err)
+				}
+			}
+			fileRoot, err := w.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fileRoot != root {
+				t.Fatalf("RootOf %s != streamed file root %s", root, fileRoot)
+			}
+			f, err := Open(path, int64(tc.n), tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+
+			ranges := [][2]int64{{0, 0}, {0, int64(tc.n) - 1}}
+			if tc.n > 2 {
+				ranges = append(ranges, [2]int64{1, int64(tc.n) / 2}, [2]int64{int64(tc.n) - 1, int64(tc.n) - 1})
+			}
+			for _, r := range ranges {
+				mem, err := ProveRangeOf(leaves, tc.m, r[0], r[1])
+				if err != nil {
+					t.Fatalf("range [%d,%d]: %v", r[0], r[1], err)
+				}
+				got, err := VerifyRange(mem, leaves[r[0]:r[1]+1])
+				if err != nil {
+					t.Fatalf("range [%d,%d] verify: %v", r[0], r[1], err)
+				}
+				if got != root {
+					t.Fatalf("range [%d,%d]: in-memory proof root %s != %s", r[0], r[1], got, root)
+				}
+				disk, err := f.ProveRange(r[0], r[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(disk.Left) != len(mem.Left) {
+					t.Fatalf("range [%d,%d]: layer counts differ (%d vs %d)", r[0], r[1], len(mem.Left), len(disk.Left))
+				}
+				for li := range disk.Left {
+					if len(disk.Left[li]) != len(mem.Left[li]) || len(disk.Right[li]) != len(mem.Right[li]) {
+						t.Fatalf("range [%d,%d] layer %d: sibling geometry differs", r[0], r[1], li)
+					}
+					for i := range disk.Left[li] {
+						if disk.Left[li][i] != mem.Left[li][i] {
+							t.Fatalf("range [%d,%d] layer %d: left sibling %d differs", r[0], r[1], li, i)
+						}
+					}
+					for i := range disk.Right[li] {
+						if disk.Right[li][i] != mem.Right[li][i] {
+							t.Fatalf("range [%d,%d] layer %d: right sibling %d differs", r[0], r[1], li, i)
+						}
+					}
+				}
+			}
+
+			// Out-of-range requests fail like the file-based prover.
+			if _, err := ProveRangeOf(leaves, tc.m, -1, 0); err == nil {
+				t.Fatal("negative lo accepted")
+			}
+			if _, err := ProveRangeOf(leaves, tc.m, 0, int64(tc.n)); err == nil {
+				t.Fatal("hi == n accepted")
+			}
+		})
+	}
+}

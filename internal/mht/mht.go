@@ -385,6 +385,46 @@ func VerifyRange(proof *RangeProof, leaves []types.Hash) (types.Hash, error) {
 	return cur[0], nil
 }
 
+// ProveRangeOf builds a range proof for leaf positions [lo, hi] of an
+// m-ary MHT computed entirely in memory — the counterpart of
+// File.ProveRange for small trees that are never written to disk, such
+// as the per-shard root list of a sharded store. The proof verifies with
+// VerifyRange against RootOf(leaves, m).
+func ProveRangeOf(leaves []types.Hash, m int, lo, hi int64) (*RangeProof, error) {
+	n := int64(len(leaves))
+	if m < 2 {
+		return nil, fmt.Errorf("mht: fanout %d < 2", m)
+	}
+	if lo < 0 || hi < lo || hi >= n {
+		return nil, fmt.Errorf("mht: bad range [%d,%d] of %d leaves", lo, hi, n)
+	}
+	counts := LayerCounts(n, m)
+	p := &RangeProof{N: n, M: m, Lo: lo, Hi: hi}
+	layer := leaves
+	l, h := lo, hi
+	for li := 0; li < len(counts)-1; li++ {
+		groupStart := (l / int64(m)) * int64(m)
+		groupEnd := (h/int64(m))*int64(m) + int64(m) - 1
+		if groupEnd >= counts[li] {
+			groupEnd = counts[li] - 1
+		}
+		p.Left = append(p.Left, append([]types.Hash(nil), layer[groupStart:l]...))
+		p.Right = append(p.Right, append([]types.Hash(nil), layer[h+1:groupEnd+1]...))
+		next := make([]types.Hash, 0, counts[li+1])
+		for i := int64(0); i < counts[li]; i += int64(m) {
+			j := i + int64(m)
+			if j > counts[li] {
+				j = counts[li]
+			}
+			next = append(next, types.HashConcat(layer[i:j]...))
+		}
+		layer = next
+		l /= int64(m)
+		h /= int64(m)
+	}
+	return p, nil
+}
+
 // RootOf computes the m-ary MHT root of a leaf set entirely in memory
 // (used for transaction digests in block headers and for tests).
 func RootOf(leaves []types.Hash, m int) types.Hash {

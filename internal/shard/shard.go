@@ -25,9 +25,12 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 
 	"cole/internal/core"
+	"cole/internal/merge"
+	"cole/internal/mht"
 	"cole/internal/types"
 )
 
@@ -35,10 +38,16 @@ import (
 // file-handle overhead dwarfs any commit parallelism.
 const MaxShards = 256
 
+// ShardRootFanout is the arity of the Merkle tree that folds per-shard
+// roots into the combined digest. The paper's best MHT fanout (m = 4)
+// works here too: proofs carry at most (m−1)·⌈log_m N⌉ sibling hashes.
+const ShardRootFanout = 4
+
 // rootDomain prefixes the combined-root hash so a multi-shard digest can
 // never collide with a single engine's root_hash_list hash over the same
-// component hashes.
-var rootDomain = []byte("COLE-SHARD-ROOTS/v1\x00")
+// component hashes. v2: the shard roots are folded through an m-ary
+// Merkle tree (proofs carry O(log N) siblings) instead of hashed flat.
+var rootDomain = []byte("COLE-SHARD-ROOTS/v2\x00")
 
 // ShardOf routes an address to its owning partition: FNV-1a over the
 // 20 address bytes, mod n. Deterministic across processes and platforms.
@@ -52,30 +61,35 @@ func ShardOf(addr types.Address, n int) int {
 }
 
 // CombineRoots folds per-shard Hstate roots (shard-index order) into the
-// block-header digest. One shard combines to its root unchanged, which is
-// what makes Shards=1 byte-compatible with an unsharded engine.
+// block-header digest: a ShardRootFanout-ary Merkle tree over the roots,
+// domain-separated from every other hash in the system. Proofs against
+// the combined digest therefore carry a logarithmic Merkle path (see
+// Proof.Path) rather than all N−1 sibling roots. One shard combines to
+// its root unchanged, which is what makes Shards=1 byte-compatible with
+// an unsharded engine.
 func CombineRoots(roots []types.Hash) types.Hash {
 	if len(roots) == 1 {
 		return roots[0]
 	}
-	parts := make([][]byte, 0, len(roots)+1)
-	parts = append(parts, rootDomain)
-	for i := range roots {
-		parts = append(parts, roots[i][:])
-	}
-	return types.HashData(parts...)
+	top := mht.RootOf(roots, ShardRootFanout)
+	return types.HashData(rootDomain, top[:])
 }
 
 // Store is a sharded COLE store: N engines behind one block interface.
 type Store struct {
 	opts core.Options
 	n    int
+	// sched is the single merge pool every shard's background flush and
+	// merge jobs run on, so the aggregate merge concurrency is bounded by
+	// Options.MergeWorkers regardless of the shard count.
+	sched *merge.Scheduler
 
 	// mu serializes block lifecycle against reads: BeginBlock, Commit,
 	// FlushAll and Close take the write lock; Put and queries take the
 	// read lock (each engine still has its own internal mutex).
 	mu      sync.RWMutex
 	engines []*core.Engine
+	allIdx  []int // 0..n-1, the runShards fan-out list
 	inBlock bool
 	height  uint64
 	// active flags which shards participate in the open block. During
@@ -138,14 +152,17 @@ func Open(opts core.Options) (*Store, error) {
 			return nil, err
 		}
 	}
-	s := &Store{opts: opts, n: n, active: make([]bool, n)}
+	s := &Store{opts: opts, n: n, sched: merge.New(opts.MergeWorkers), active: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		s.allIdx = append(s.allIdx, i)
+	}
 	for i := 0; i < n; i++ {
 		eo := opts
 		eo.Shards = 1
 		if n > 1 {
 			eo.Dir = filepath.Join(opts.Dir, fmt.Sprintf("shard-%02d", i))
 		}
-		e, err := core.Open(eo)
+		e, err := core.OpenWithScheduler(eo, s.sched)
 		if err != nil {
 			for _, prev := range s.engines {
 				prev.Close()
@@ -228,6 +245,44 @@ func writeManifest(dir string, n int) error {
 	return os.Rename(tmp, path)
 }
 
+// runOn invokes fn for each listed shard index and returns the first
+// error. On a multi-core process the calls run in parallel goroutines;
+// with GOMAXPROCS=1 (or a single target) they run inline, because
+// fanning out on a single core buys no parallelism and the spawn/join
+// cost lands on every block of the hot write path. Every listed shard
+// is attempted even after a failure, so an error never leaves later
+// shards at divergent lifecycle states.
+func (s *Store) runOn(idxs []int, fn func(i int) error) error {
+	if len(idxs) == 1 || runtime.GOMAXPROCS(0) == 1 {
+		var first error
+		for _, i := range idxs {
+			if err := fn(i); err != nil && first == nil {
+				first = fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+		return first
+	}
+	errs := make([]error, len(idxs))
+	var wg sync.WaitGroup
+	for k, i := range idxs {
+		wg.Add(1)
+		go func(k, i int) {
+			defer wg.Done()
+			errs[k] = fn(i)
+		}(k, i)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", idxs[k], err)
+		}
+	}
+	return nil
+}
+
+// runShards invokes fn for every shard index (see runOn).
+func (s *Store) runShards(fn func(i int) error) error { return s.runOn(s.allIdx, fn) }
+
 // Shards returns the partition count.
 func (s *Store) Shards() int { return s.n }
 
@@ -290,6 +345,52 @@ func (s *Store) Put(addr types.Address, v types.Value) error {
 	return s.engines[i].Put(addr, v)
 }
 
+// PutBatch routes a block's updates in one pass: updates are pre-bucketed
+// per shard, then every non-empty bucket is applied with a single engine
+// call — one lock acquisition per shard instead of one per update — and
+// the buckets run in parallel goroutines. Bucket order preserves the
+// batch's first-occurrence order, so each engine sees exactly the
+// sub-sequence of updates it owns and digests match a sequential Put
+// loop byte for byte. Buckets of shards skipped for this block (replay
+// of an already-covered height) are dropped, like Put.
+func (s *Store) PutBatch(updates []types.Update) error {
+	if len(updates) == 0 {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.inBlock {
+		return fmt.Errorf("shard: PutBatch outside a block; call BeginBlock first")
+	}
+	if s.n == 1 {
+		if !s.active[0] {
+			return nil
+		}
+		return s.engines[0].PutBatch(updates)
+	}
+	buckets := make([][]types.Update, s.n)
+	var nonEmpty []int
+	for _, u := range updates {
+		i := ShardOf(u.Addr, s.n)
+		if !s.active[i] {
+			continue
+		}
+		if len(buckets[i]) == 0 {
+			nonEmpty = append(nonEmpty, i)
+		}
+		buckets[i] = append(buckets[i], u)
+	}
+	if len(nonEmpty) == 0 {
+		return nil
+	}
+	// Fan out only over shards that actually received updates: a small
+	// block on a wide store would otherwise spawn a goroutine per empty
+	// bucket.
+	return s.runOn(nonEmpty, func(i int) error {
+		return s.engines[i].PutBatch(buckets[i])
+	})
+}
+
 // Commit seals the open block on every participating shard in parallel
 // goroutines and combines the per-shard Hstate roots — gathered in
 // shard-index order, never completion order — into the deterministic
@@ -309,24 +410,17 @@ func (s *Store) Commit() (types.Hash, error) {
 	s.inBlock = false
 
 	roots := make([]types.Hash, s.n)
-	errs := make([]error, s.n)
-	var wg sync.WaitGroup
-	for i := range s.engines {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			if s.active[i] {
-				roots[i], errs[i] = s.engines[i].Commit()
-			} else {
-				roots[i] = s.engines[i].RootDigest()
-			}
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return types.Hash{}, fmt.Errorf("shard %d: %w", i, err)
+	err := s.runShards(func(i int) error {
+		if !s.active[i] {
+			roots[i] = s.engines[i].RootDigest()
+			return nil
 		}
+		var cerr error
+		roots[i], cerr = s.engines[i].Commit()
+		return cerr
+	})
+	if err != nil {
+		return types.Hash{}, err
 	}
 	return CombineRoots(roots), nil
 }
@@ -346,23 +440,34 @@ func (s *Store) GetAt(addr types.Address, blk uint64) (types.Value, uint64, bool
 }
 
 // Proof authenticates a provenance query against the combined multi-shard
-// digest: the owning shard's inner COLE proof, the shard index, and the
-// sibling shard roots needed to recombine the block-header digest.
+// digest: the owning shard's inner COLE proof, its Hstate root, and the
+// Merkle path from that root up to the combined digest. The path carries
+// O(log N) sibling hashes — at 256 shards that is at most 12 hashes where
+// the flat scheme shipped 255 sibling roots.
 type Proof struct {
 	// Shard is the partition that answered the query.
 	Shard int
-	// Roots holds every shard's Hstate root in shard-index order; the
-	// inner proof is verified against entry Shard, the rest are the
-	// siblings needed to recombine the digest.
-	Roots []types.Hash
+	// Shards is the store's partition count N (the proof must route addr
+	// to Shard under exactly this N).
+	Shards int
+	// Root is the owning shard's Hstate root; the inner proof verifies
+	// against it.
+	Root types.Hash
+	// Path authenticates Root as leaf `Shard` of the ShardRootFanout-ary
+	// Merkle tree whose root (domain-hashed) is the combined digest.
+	// Nil when Shards == 1: a single root IS the digest.
+	Path *mht.RangeProof
 	// Inner is the owning engine's provenance proof.
 	Inner *core.Proof
 }
 
-// Size approximates the proof's wire size in bytes: the inner proof plus
-// one root hash per shard and the shard index.
+// Size approximates the proof's wire size in bytes: the inner proof, the
+// shard root, the Merkle path, and the two index fields.
 func (p *Proof) Size() int {
-	s := 8 + len(p.Roots)*types.HashSize
+	s := 8 + 8 + types.HashSize
+	if p.Path != nil {
+		s += p.Path.Size()
+	}
 	if p.Inner != nil {
 		s += p.Inner.Size()
 	}
@@ -370,7 +475,7 @@ func (p *Proof) Size() int {
 }
 
 // ProvQuery answers a provenance query from the owning shard and wraps
-// its proof with the full shard-root list for verification against the
+// its proof with the Merkle path of the owning shard's root inside the
 // combined digest.
 func (s *Store) ProvQuery(addr types.Address, blkLo, blkHi uint64) ([]core.Version, *Proof, error) {
 	s.mu.RLock()
@@ -380,33 +485,62 @@ func (s *Store) ProvQuery(addr types.Address, blkLo, blkHi uint64) ([]core.Versi
 	if err != nil {
 		return nil, nil, err
 	}
+	p := &Proof{Shard: idx, Shards: s.n, Inner: inner}
+	if s.n == 1 {
+		p.Root = s.engines[0].RootDigest()
+		return versions, p, nil
+	}
 	roots := make([]types.Hash, s.n)
 	for i, e := range s.engines {
 		roots[i] = e.RootDigest()
 	}
-	return versions, &Proof{Shard: idx, Roots: roots, Inner: inner}, nil
+	p.Root = roots[idx]
+	p.Path, err = mht.ProveRangeOf(roots, ShardRootFanout, int64(idx), int64(idx))
+	if err != nil {
+		return nil, nil, fmt.Errorf("shard: root path: %w", err)
+	}
+	return versions, p, nil
 }
 
 // VerifyProv verifies a sharded provenance proof against the combined
 // block-header digest: the address must route to the claimed shard, the
-// shard roots must recombine to hstate, and the inner proof must verify
-// against the owning shard's root. Returns the authenticated versions,
-// newest first.
+// shard root's Merkle path must reproduce hstate, and the inner proof
+// must verify against the owning shard's root. Returns the authenticated
+// versions, newest first.
 func VerifyProv(hstate types.Hash, addr types.Address, blkLo, blkHi uint64, p *Proof) ([]core.Version, error) {
 	if p == nil {
 		return nil, fmt.Errorf("shard: nil proof")
 	}
-	n := len(p.Roots)
+	n := p.Shards
 	if n < 1 || n > MaxShards {
-		return nil, fmt.Errorf("shard: proof carries %d shard roots", n)
+		return nil, fmt.Errorf("shard: proof claims %d shards", n)
 	}
 	if want := ShardOf(addr, n); p.Shard != want {
 		return nil, fmt.Errorf("shard: proof answers from shard %d but the address routes to shard %d of %d", p.Shard, want, n)
 	}
-	if CombineRoots(p.Roots) != hstate {
+	combined := p.Root
+	if n > 1 {
+		if p.Path == nil {
+			return nil, fmt.Errorf("shard: multi-shard proof is missing the root Merkle path")
+		}
+		// The path geometry must bind to the claimed shard layout: N
+		// leaves, the canonical fanout, and exactly the owning leaf.
+		if p.Path.N != int64(n) || p.Path.M != ShardRootFanout ||
+			p.Path.Lo != int64(p.Shard) || p.Path.Hi != int64(p.Shard) {
+			return nil, fmt.Errorf("shard: root path geometry does not match shard %d of %d", p.Shard, n)
+		}
+		top, err := mht.VerifyRange(p.Path, []types.Hash{p.Root})
+		if err != nil {
+			return nil, fmt.Errorf("shard: root path: %w", err)
+		}
+		combined = types.HashData(rootDomain, top[:])
+	} else if p.Path != nil {
+		return nil, fmt.Errorf("shard: single-shard proof carries a root Merkle path")
+	}
+	if combined != hstate {
 		return nil, fmt.Errorf("shard: combined shard roots do not match Hstate")
 	}
-	return core.VerifyProv(p.Roots[p.Shard], addr, blkLo, blkHi, p.Inner)
+	return core.VerifyProv(p.Root, addr, blkLo, blkHi, p.Inner)
 }
 
 // RootDigest returns the current combined digest without committing.
@@ -486,18 +620,37 @@ func (s *Store) Stats() core.Stats {
 	return st
 }
 
-// ShardStats returns each shard's entry count (memory + disk), for
-// balance introspection.
-func (s *Store) ShardStats() []int64 {
+// ShardStat is one shard's balance snapshot.
+type ShardStat struct {
+	// Entries counts the shard's stored entries (memory + disk).
+	Entries int64
+	// Puts counts the writes routed to the shard since open.
+	Puts int64
+	// MergeWaits counts the shard's merge back-pressure events.
+	MergeWaits int64
+}
+
+// ShardStats returns each shard's balance snapshot, for write-imbalance
+// introspection (a skewed address population routes unevenly and the hot
+// shard becomes the commit straggler).
+func (s *Store) ShardStats() []ShardStat {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]int64, s.n)
+	out := make([]ShardStat, s.n)
 	for i, e := range s.engines {
 		w, m := e.MemEntries()
-		out[i] = e.Storage().Entries + int64(w) + int64(m)
+		st := e.Stats()
+		out[i] = ShardStat{
+			Entries:    e.Storage().Entries + int64(w) + int64(m),
+			Puts:       st.Puts,
+			MergeWaits: st.MergeWaits,
+		}
 	}
 	return out
 }
+
+// Scheduler exposes the store's shared merge pool.
+func (s *Store) Scheduler() *merge.Scheduler { return s.sched }
 
 // FlushAll persists every shard's in-memory level in parallel, for a
 // clean shutdown.
@@ -507,22 +660,7 @@ func (s *Store) FlushAll() error {
 	if s.inBlock {
 		return fmt.Errorf("shard: FlushAll inside an open block")
 	}
-	errs := make([]error, s.n)
-	var wg sync.WaitGroup
-	for i := range s.engines {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			errs[i] = s.engines[i].FlushAll()
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
-		}
-	}
-	return nil
+	return s.runShards(func(i int) error { return s.engines[i].FlushAll() })
 }
 
 // Close joins background merges and releases file handles on every shard.

@@ -189,28 +189,49 @@ func TestProvRoundTrip(t *testing.T) {
 		}
 	}
 
-	// Tampering with a sibling shard root must break verification.
+	// Tampering with a sibling hash in the root Merkle path must break
+	// verification.
 	addr := testAddr(3)
 	_, proof, err := s.ProvQuery(addr, 1, blocks)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sibling := (proof.Shard + 1) % len(proof.Roots)
-	proof.Roots[sibling][0] ^= 0xff
-	if _, err := VerifyProv(hstate, addr, 1, blocks, proof); err == nil {
-		t.Fatal("verification accepted a tampered sibling shard root")
+	if proof.Path == nil {
+		t.Fatal("multi-shard proof carries no root Merkle path")
 	}
-	proof.Roots[sibling][0] ^= 0xff
+	tampered := false
+	for li := range proof.Path.Left {
+		if len(proof.Path.Left[li]) > 0 {
+			proof.Path.Left[li][0][0] ^= 0xff
+			tampered = true
+			break
+		}
+		if len(proof.Path.Right[li]) > 0 {
+			proof.Path.Right[li][0][0] ^= 0xff
+			tampered = true
+			break
+		}
+	}
+	if !tampered {
+		t.Fatal("4-shard root path has no sibling hashes to tamper with")
+	}
+	if _, err := VerifyProv(hstate, addr, 1, blocks, proof); err == nil {
+		t.Fatal("verification accepted a tampered root-path sibling")
+	}
 
-	// A proof claiming the wrong shard must be rejected even if the roots
-	// are genuine.
-	proof.Shard = sibling
+	// A proof claiming the wrong shard must be rejected before the path
+	// is even checked.
+	_, proof, err = s.ProvQuery(addr, 1, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.Shard = (proof.Shard + 1) % proof.Shards
 	if _, err := VerifyProv(hstate, addr, 1, blocks, proof); err == nil {
 		t.Fatal("verification accepted a proof from the wrong shard")
 	}
 
 	// And the digest itself must bind: a different Hstate fails.
-	proof.Shard = ShardOf(addr, len(proof.Roots))
+	proof.Shard = ShardOf(addr, proof.Shards)
 	bad := hstate
 	bad[0] ^= 0xff
 	if _, err := VerifyProv(bad, addr, 1, blocks, proof); err == nil {

@@ -58,6 +58,16 @@ type Entry struct {
 	Value Value
 }
 
+// Update is one pending state write of a batch: Addr receives Value at
+// the height of the block the batch is applied to. The height itself is
+// not part of the update — the engine stamps it when the batch lands,
+// which is what lets one batch be rerouted across shards or replayed at
+// recovery without rewriting it.
+type Update struct {
+	Addr  Address
+	Value Value
+}
+
 // AddressFromBytes builds an Address from arbitrary bytes, hashing when the
 // input is not exactly AddressSize long so that any identifier maps to a
 // uniformly distributed address.
