@@ -7,18 +7,20 @@
 //	colebench -exp fig9 [-blocks N] [-tx N] [-scale paper|lab|quick]
 //	colebench -exp shardscale -shards 8
 //	colebench -exp mergesched -merge-workers 8
+//	colebench -exp readscale -readers 8
 //	colebench -exp all -json results.json
 //
 // Experiments: fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1
-// mptbreakdown shardscale mergesched all. -shards N runs the COLE
-// systems of any experiment over an N-shard store; for shardscale it
-// sets the top of the power-of-two sweep. -merge-workers W bounds the
+// mptbreakdown shardscale mergesched readscale all. -shards N runs the
+// COLE systems of any experiment over an N-shard store; for shardscale
+// it sets the top of the power-of-two sweep. -merge-workers W bounds the
 // shared background merge pool (for mergesched: the top of its sweep);
-// -batch routes each block through the batched write pipeline (off by
-// default so the paper-replication figures keep the paper's per-Put
-// methodology; the shardscale/mergesched sweeps always batch); -json
-// writes every table (with raw measurements, including merge waits and
-// per-shard write counts) to a machine-readable report.
+// -readers R sets the top of readscale's reader-goroutine sweep; -batch
+// routes each block through the batched write pipeline (off by default
+// so the paper-replication figures keep the paper's per-Put methodology;
+// the shardscale/mergesched sweeps always batch); -json writes every
+// table (with raw measurements, including merge waits, per-shard write
+// counts, and read-scaling TPS) to a machine-readable report.
 package main
 
 import (
@@ -40,6 +42,7 @@ func main() {
 		ratio   = flag.Int("ratio", 0, "override size ratio T")
 		fanout  = flag.Int("fanout", 0, "override MHT fanout m")
 		shards  = flag.Int("shards", 0, "COLE shard count (shardscale: top of the 1,2,4,... sweep)")
+		readers = flag.Int("readers", 0, "readscale: top of the 1,2,4,... reader-goroutine sweep (default 8)")
 		workers = flag.Int("merge-workers", 0, "shared merge worker budget, 0 = GOMAXPROCS (mergesched: top of the 1,2,4,... sweep)")
 		batch   = flag.Bool("batch", false, "apply each block's writes as one PutBatch (COLE systems only; shardscale/mergesched always batch)")
 		jsonOut = flag.String("json", "", "also write a machine-readable report (tables + raw measurements) to this path")
@@ -158,6 +161,16 @@ func main() {
 		c.MergeWorkers = 0
 		run("mergesched", func() (*bench.Table, error) {
 			return bench.MergeSched(c, powerSweep(*workers, 8), *scratch)
+		})
+		any = true
+	}
+	if all || *exp == "readscale" {
+		// Single-shard by design: the sweep isolates read-path scaling
+		// from shard parallelism.
+		c := pipelineCfg()
+		c.Shards = 0
+		run("readscale", func() (*bench.Table, error) {
+			return bench.ReadScaling(c, powerSweep(*readers, 8), *scratch)
 		})
 		any = true
 	}

@@ -6,6 +6,7 @@
 //
 //	coledb -dir ledger put <height> <addr=value> [<addr=value> ...]
 //	coledb -dir ledger get <addr>
+//	coledb -dir ledger getbatch <addr> [<addr> ...]
 //	coledb -dir ledger getat <addr> <height>
 //	coledb -dir ledger prov <addr> <blkLo> <blkHi>
 //	coledb -dir ledger stat
@@ -40,7 +41,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fail("missing command: put | get | getat | prov | stat")
+		fail("missing command: put | get | getbatch | getat | prov | stat")
 	}
 
 	// A 1-shard store is byte-compatible with the unsharded engine, so the
@@ -100,6 +101,31 @@ func main() {
 			return
 		}
 		fmt.Printf("%s\n", renderValue(v))
+	case "getbatch":
+		if len(args) < 2 {
+			fail("getbatch <addr> [<addr> ...]")
+		}
+		addrs := make([]cole.Address, len(args)-1)
+		for i, a := range args[1:] {
+			addrs[i] = cole.AddressFromString(a)
+		}
+		// A snapshot pins one committed height so every address of the
+		// batch is answered from the same consistent state, even on a
+		// multi-shard store.
+		snap := store.Snapshot()
+		defer snap.Release()
+		res, err := snap.GetBatch(addrs)
+		if err != nil {
+			fail("getbatch: %v", err)
+		}
+		fmt.Printf("snapshot at block %d (Hstate %s)\n", snap.Height(), snap.Root())
+		for i, r := range res {
+			if !r.Found {
+				fmt.Printf("  %s: (not found)\n", args[i+1])
+				continue
+			}
+			fmt.Printf("  %s: %s (written at block %d)\n", args[i+1], renderValue(r.Value), r.Blk)
+		}
 	case "getat":
 		if len(args) != 3 {
 			fail("getat <addr> <height>")
@@ -140,7 +166,7 @@ func main() {
 		fmt.Printf("shards:      %d\n", store.Shards())
 		fmt.Printf("entries:     %d in %d runs across %d levels\n", sb.Entries, sb.Runs, sb.Levels)
 		fmt.Printf("disk:        %d data bytes + %d index bytes\n", sb.DataBytes, sb.IndexBytes)
-		fmt.Printf("ops:         %d puts, %d gets, %d prov queries\n", st.Puts, st.Gets, st.ProvQueries)
+		fmt.Printf("ops:         %d puts, %d gets (%d bloom skips), %d prov queries\n", st.Puts, st.Gets, st.BloomSkips, st.ProvQueries)
 		fmt.Printf("maintenance: %d flushes, %d merges, %d merge waits\n", st.Flushes, st.Merges, st.MergeWaits)
 		fmt.Printf("Hstate:      %s\n", store.RootDigest())
 	default:

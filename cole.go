@@ -73,6 +73,10 @@ type Proof = core.Proof
 // Stats aggregates engine counters.
 type Stats = core.Stats
 
+// ReadResult is one point-lookup outcome of a batched read: the value,
+// the height it was written at, and whether the address exists.
+type ReadResult = core.ReadResult
+
 // StorageBreakdown reports on-disk bytes split into data and index.
 type StorageBreakdown = core.StorageBreakdown
 
@@ -128,7 +132,10 @@ func (s *Store) PutBatch(updates []Update) error { return s.engine.PutBatch(upda
 // returns the state root digest Hstate for the block header.
 func (s *Store) Commit() (Hash, error) { return s.engine.Commit() }
 
-// Get returns the latest value of addr.
+// Get returns the latest committed value of addr. Reads are lock-free
+// and snapshot-isolated: they observe the state of the last committed
+// block (never the writes of a block still being built) and run
+// concurrently with commits, merges, and each other.
 func (s *Store) Get(addr Address) (Value, bool, error) { return s.engine.Get(addr) }
 
 // GetAt returns the value of addr active at block height blk and the
@@ -136,6 +143,18 @@ func (s *Store) Get(addr Address) (Value, bool, error) { return s.engine.Get(add
 func (s *Store) GetAt(addr Address, blk uint64) (Value, uint64, bool, error) {
 	return s.engine.GetAt(addr, blk)
 }
+
+// GetBatch resolves many point lookups against one consistent committed
+// state, in input order.
+func (s *Store) GetBatch(addrs []Address) ([]ReadResult, error) {
+	return s.engine.GetBatch(addrs)
+}
+
+// Snapshot pins the store's current committed state for any number of
+// consistent reads at one block height, concurrently with commits and
+// merges. Release it when done so storage reclaimed by merges can be
+// freed.
+func (s *Store) Snapshot() Snapshot { return s.engine.Snapshot() }
 
 // ProvQuery returns the versions of addr written within [blkLo, blkHi]
 // (newest first) and a proof verifiable against the current root digest.
@@ -171,6 +190,28 @@ func (s *Store) FlushAll() error { return s.engine.FlushAll() }
 // Close joins background merges and releases file handles. Unflushed L0
 // data is recovered by block replay; call FlushAll first to avoid replay.
 func (s *Store) Close() error { return s.engine.Close() }
+
+// Snapshot is a pinned, immutable read handle on a store's committed
+// state at one block height. All reads through it are lock-free and
+// mutually consistent (on a sharded store, across every shard), and run
+// concurrently with commits and background merges. Snapshots pin
+// resources: Release them (idempotent) so run files retired by merges can
+// be reclaimed.
+type Snapshot interface {
+	// Height returns the committed block height the snapshot observes.
+	Height() uint64
+	// Root returns the state digest (Hstate, or the combined shard
+	// digest) the snapshot's reads are consistent with.
+	Root() Hash
+	// Get returns the latest value of addr as of the snapshot.
+	Get(addr Address) (Value, bool, error)
+	// GetAt returns the value of addr active at block height blk.
+	GetAt(addr Address, blk uint64) (Value, uint64, bool, error)
+	// GetBatch resolves many point lookups, in input order.
+	GetBatch(addrs []Address) ([]ReadResult, error)
+	// Release unpins the snapshot (safe to call more than once).
+	Release()
+}
 
 // ShardProof authenticates a provenance query against a sharded store's
 // combined digest: the owning shard's inner COLE proof plus the shard
@@ -224,13 +265,26 @@ func (s *ShardedStore) PutBatch(updates []Update) error { return s.store.PutBatc
 // originally published headers again once replay passes Height().
 func (s *ShardedStore) Commit() (Hash, error) { return s.store.Commit() }
 
-// Get returns the latest value of addr.
+// Get returns the latest committed value of addr (lock-free, snapshot
+// isolated; see Store.Get).
 func (s *ShardedStore) Get(addr Address) (Value, bool, error) { return s.store.Get(addr) }
 
 // GetAt returns the value of addr active at block height blk.
 func (s *ShardedStore) GetAt(addr Address, blk uint64) (Value, uint64, bool, error) {
 	return s.store.GetAt(addr, blk)
 }
+
+// GetBatch resolves many point lookups in one pass: addresses are
+// bucketed per shard, buckets fan out concurrently, and all results
+// observe the same committed block height, in input order.
+func (s *ShardedStore) GetBatch(addrs []Address) ([]ReadResult, error) {
+	return s.store.GetBatch(addrs)
+}
+
+// Snapshot pins all shard views atomically at one committed block height:
+// cross-shard reads through it are mutually consistent even while blocks
+// keep committing. Release it when done.
+func (s *ShardedStore) Snapshot() Snapshot { return s.store.Snapshot() }
 
 // ProvQuery returns the versions of addr written within [blkLo, blkHi]
 // (newest first) and a proof verifiable against the combined digest.

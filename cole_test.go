@@ -197,3 +197,104 @@ func TestOpenRejectsOrphanedShardDirs(t *testing.T) {
 		t.Fatal("cole.OpenSharded (Shards=0) accepted a dir with orphaned shard subdirectories")
 	}
 }
+
+// TestSnapshotFacade exercises the public Snapshot interface on both the
+// single-engine store and the sharded store: pinned height, consistent
+// batched reads, and isolation from later commits.
+func TestSnapshotFacade(t *testing.T) {
+	open := map[string]func(dir string) (interface {
+		BeginBlock(uint64) error
+		PutBatch([]cole.Update) error
+		Commit() (cole.Hash, error)
+		Snapshot() cole.Snapshot
+		GetBatch([]cole.Address) ([]cole.ReadResult, error)
+		Close() error
+	}, error){
+		"store": func(dir string) (interface {
+			BeginBlock(uint64) error
+			PutBatch([]cole.Update) error
+			Commit() (cole.Hash, error)
+			Snapshot() cole.Snapshot
+			GetBatch([]cole.Address) ([]cole.ReadResult, error)
+			Close() error
+		}, error) {
+			return cole.Open(cole.Options{Dir: dir, MemCapacity: 16})
+		},
+		"sharded": func(dir string) (interface {
+			BeginBlock(uint64) error
+			PutBatch([]cole.Update) error
+			Commit() (cole.Hash, error)
+			Snapshot() cole.Snapshot
+			GetBatch([]cole.Address) ([]cole.ReadResult, error)
+			Close() error
+		}, error) {
+			return cole.OpenSharded(cole.Options{Dir: dir, MemCapacity: 16, Shards: 4})
+		},
+	}
+	for name, opener := range open {
+		t.Run(name, func(t *testing.T) {
+			s, err := opener(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			addrs := make([]cole.Address, 8)
+			for i := range addrs {
+				addrs[i] = cole.AddressFromString("snap-" + string(rune('a'+i)))
+			}
+			write := func(h uint64) cole.Hash {
+				if err := s.BeginBlock(h); err != nil {
+					t.Fatal(err)
+				}
+				upd := make([]cole.Update, len(addrs))
+				for i, a := range addrs {
+					upd[i] = cole.Update{Addr: a, Value: cole.ValueFromUint64(h*100 + uint64(i))}
+				}
+				if err := s.PutBatch(upd); err != nil {
+					t.Fatal(err)
+				}
+				root, err := s.Commit()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return root
+			}
+			for h := uint64(1); h <= 10; h++ {
+				write(h)
+			}
+			root10 := write(11)
+
+			snap := s.Snapshot()
+			defer snap.Release()
+			if snap.Height() != 11 || snap.Root() != root10 {
+				t.Fatalf("snapshot pinned (%d, %x), want (11, %x)", snap.Height(), snap.Root(), root10)
+			}
+			for h := uint64(12); h <= 20; h++ {
+				write(h)
+			}
+			res, err := snap.GetBatch(addrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range res {
+				want := uint64(1100 + i)
+				if !r.Found || r.Value.Uint64() != want || r.Blk != 11 {
+					t.Fatalf("snapshot read %d: %+v, want value %d at blk 11", i, r, want)
+				}
+			}
+			// The live store moved on.
+			live, err := s.GetBatch(addrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if live[0].Value.Uint64() != 2000 || live[0].Blk != 20 {
+				t.Fatalf("live read %+v, want value 2000 at blk 20", live[0])
+			}
+			// Single-key snapshot reads agree with the batch.
+			v, blk, ok, err := snap.GetAt(addrs[3], 5)
+			if err != nil || !ok || blk != 5 || v.Uint64() != 503 {
+				t.Fatalf("snapshot GetAt: %v %d %v %v", v.Uint64(), blk, ok, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,148 @@
+// Concurrent reads: serve lock-free point queries — and consistent
+// multi-key reads from a pinned snapshot — while blocks keep committing
+// and background merges run.
+//
+// The store's read path runs over atomically-published views: a reader
+// never takes the engine lock, so queries proceed at full speed through
+// commits, flushes, and merges. A Snapshot pins one committed height;
+// every read through it observes exactly that state, even on a sharded
+// store where blocks keep landing on all shards concurrently.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"cole"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "cole-concurrent-reads-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	store, err := cole.OpenSharded(cole.Options{
+		Dir:         dir,
+		Shards:      4,
+		MemCapacity: 256,
+		AsyncMerge:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	// Every block writes the block height into a "height marker" under
+	// each account, so a torn read would be easy to spot.
+	accounts := make([]cole.Address, 16)
+	for i := range accounts {
+		accounts[i] = cole.AddressFromString(fmt.Sprintf("account-%02d", i))
+	}
+	writeBlock := func(h uint64) cole.Hash {
+		if err := store.BeginBlock(h); err != nil {
+			log.Fatal(err)
+		}
+		updates := make([]cole.Update, len(accounts))
+		for i, a := range accounts {
+			updates[i] = cole.Update{Addr: a, Value: cole.ValueFromUint64(h)}
+		}
+		if err := store.PutBatch(updates); err != nil {
+			log.Fatal(err)
+		}
+		root, err := store.Commit()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return root
+	}
+
+	// Seed some history, then pin a snapshot at height 40.
+	for h := uint64(1); h <= 40; h++ {
+		writeBlock(h)
+	}
+	snap := store.Snapshot()
+	defer snap.Release()
+	fmt.Printf("snapshot pinned at block %d, root %s\n", snap.Height(), snap.Root())
+
+	// Writer: 60 more blocks commit while the readers run.
+	var (
+		wg        sync.WaitGroup
+		stop      = make(chan struct{})
+		liveReads atomic.Int64
+		snapReads atomic.Int64
+	)
+	// Live readers: always see some committed state, never a torn one.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := store.GetBatch(accounts)
+				if err != nil {
+					log.Fatal(err)
+				}
+				h := res[0].Value.Uint64()
+				for _, r := range res {
+					if r.Value.Uint64() != h {
+						log.Fatalf("torn live batch: %d vs %d", h, r.Value.Uint64())
+					}
+				}
+				liveReads.Add(int64(len(res)))
+			}
+		}(g)
+	}
+	// Snapshot readers: always see exactly block 40.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := snap.GetBatch(accounts)
+				if err != nil {
+					log.Fatal(err)
+				}
+				for _, r := range res {
+					if !r.Found || r.Value.Uint64() != 40 {
+						log.Fatalf("snapshot drifted: saw %d, want 40", r.Value.Uint64())
+					}
+				}
+				snapReads.Add(int64(len(res)))
+			}
+		}()
+	}
+
+	var lastRoot cole.Hash
+	for h := uint64(41); h <= 100; h++ {
+		lastRoot = writeBlock(h)
+	}
+	close(stop)
+	wg.Wait()
+
+	fmt.Printf("committed to block 100 (root %s) while readers ran\n", lastRoot)
+	fmt.Printf("live reads:     %d (every batch height-consistent)\n", liveReads.Load())
+	fmt.Printf("snapshot reads: %d (every value pinned at block 40)\n", snapReads.Load())
+
+	// The pinned snapshot still answers from block 40; the live store is
+	// at 100.
+	v, _, _ := snap.Get(accounts[0])
+	lv, _, _ := store.Get(accounts[0])
+	fmt.Printf("account-00: snapshot=%d live=%d\n", v.Uint64(), lv.Uint64())
+
+	st := store.Stats()
+	fmt.Printf("stats: %d gets, %d bloom skips, %d merges\n", st.Gets, st.BloomSkips, st.Merges)
+}

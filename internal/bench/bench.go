@@ -142,7 +142,17 @@ type Result struct {
 	// ShardPuts across runs with the same Batched setting.
 	ShardPuts []int64
 	Imbalance float64
-	blockLats []time.Duration
+	// Read-scaling measurements (the readscale experiment): Readers is
+	// the reader-goroutine count, ReadTPS the point-read throughput with
+	// an idle write path, MixedReadTPS/MixedWriteTPS the throughputs
+	// while a writer commits blocks concurrently, and BloomSkips the
+	// runs skipped by per-run Bloom filters during the reads.
+	Readers       int     `json:",omitempty"`
+	ReadTPS       float64 `json:",omitempty"`
+	MixedReadTPS  float64 `json:",omitempty"`
+	MixedWriteTPS float64 `json:",omitempty"`
+	BloomSkips    int64   `json:",omitempty"`
+	blockLats     []time.Duration
 }
 
 // backendHandle couples a backend with its measurement hooks.

@@ -77,6 +77,18 @@ func (f *Filter) MayContain(addr types.Address) bool {
 	return true
 }
 
+// Clone returns an independent copy of the filter. The engine clones the
+// live L0 filter into each published read view so lock-free readers never
+// probe a bit array that Add is concurrently mutating.
+func (f *Filter) Clone() *Filter {
+	return &Filter{
+		bits:    append([]uint64(nil), f.bits...),
+		nbits:   f.nbits,
+		hashes:  f.hashes,
+		entries: f.entries,
+	}
+}
+
 // Entries returns the number of insertions.
 func (f *Filter) Entries() uint64 { return f.entries }
 

@@ -13,9 +13,33 @@ import (
 	"cole/internal/types"
 )
 
+// blockOverlay gives a COLE backend read-your-writes inside an open
+// block: engine reads are snapshot-isolated at the last commit, so the
+// executor's intra-block reads (a transfer reading a balance an earlier
+// transaction in the same block wrote) are served from this overlay while
+// everything else comes from a snapshot pinned at BeginBlock. The engine
+// receives exactly the same Put sequence as before, so headers are
+// byte-identical to the pre-snapshot read path.
+type blockOverlay struct {
+	writes map[types.Address]types.Value
+}
+
+func newBlockOverlay() *blockOverlay {
+	return &blockOverlay{writes: make(map[types.Address]types.Value)}
+}
+
+func (o *blockOverlay) reset()                                  { clear(o.writes) }
+func (o *blockOverlay) put(a types.Address, v types.Value)      { o.writes[a] = v }
+func (o *blockOverlay) get(a types.Address) (types.Value, bool) { v, ok := o.writes[a]; return v, ok }
+
 // ColeBackend adapts the COLE engine (sync or async) to StateBackend.
+// Each block executes over a Snapshot pinned at BeginBlock (lock-free,
+// stable reads while background merges run) plus the block's own write
+// overlay.
 type ColeBackend struct {
-	Engine *core.Engine
+	Engine  *core.Engine
+	snap    *core.Snapshot
+	overlay *blockOverlay
 }
 
 // OpenCole opens a COLE backend.
@@ -24,33 +48,80 @@ func OpenCole(opts core.Options) (*ColeBackend, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ColeBackend{Engine: e}, nil
+	return &ColeBackend{Engine: e, overlay: newBlockOverlay()}, nil
 }
 
-// BeginBlock implements StateBackend.
-func (b *ColeBackend) BeginBlock(h uint64) error { return b.Engine.BeginBlock(h) }
+// BeginBlock implements StateBackend: it pins the pre-block snapshot all
+// of the block's reads are served from.
+func (b *ColeBackend) BeginBlock(h uint64) error {
+	if err := b.Engine.BeginBlock(h); err != nil {
+		return err
+	}
+	b.releaseSnap()
+	b.snap = b.Engine.Snapshot()
+	b.overlay.reset()
+	return nil
+}
+
+func (b *ColeBackend) releaseSnap() {
+	if b.snap != nil {
+		b.snap.Release()
+		b.snap = nil
+	}
+}
 
 // Put implements StateBackend.
-func (b *ColeBackend) Put(addr types.Address, v types.Value) error { return b.Engine.Put(addr, v) }
+func (b *ColeBackend) Put(addr types.Address, v types.Value) error {
+	if err := b.Engine.Put(addr, v); err != nil {
+		return err
+	}
+	b.overlay.put(addr, v)
+	return nil
+}
 
 // PutBatch implements BatchBackend.
-func (b *ColeBackend) PutBatch(updates []types.Update) error { return b.Engine.PutBatch(updates) }
+func (b *ColeBackend) PutBatch(updates []types.Update) error {
+	if err := b.Engine.PutBatch(updates); err != nil {
+		return err
+	}
+	for _, u := range updates {
+		b.overlay.put(u.Addr, u.Value)
+	}
+	return nil
+}
 
-// Get implements StateBackend.
+// Get implements StateBackend: the open block's own writes win, then the
+// pinned pre-block snapshot (or the live engine view between blocks).
 func (b *ColeBackend) Get(addr types.Address) (types.Value, bool, error) {
+	if v, ok := b.overlay.get(addr); ok {
+		return v, true, nil
+	}
+	if b.snap != nil {
+		return b.snap.Get(addr)
+	}
 	return b.Engine.Get(addr)
 }
 
 // Commit implements StateBackend.
-func (b *ColeBackend) Commit() (types.Hash, error) { return b.Engine.Commit() }
+func (b *ColeBackend) Commit() (types.Hash, error) {
+	root, err := b.Engine.Commit()
+	b.releaseSnap()
+	return root, err
+}
 
 // Close implements StateBackend.
-func (b *ColeBackend) Close() error { return b.Engine.Close() }
+func (b *ColeBackend) Close() error {
+	b.releaseSnap()
+	return b.Engine.Close()
+}
 
 // ShardedColeBackend adapts a sharded COLE store (N engines, parallel
-// per-shard commit) to StateBackend.
+// per-shard commit) to StateBackend, with the same snapshot-plus-overlay
+// block execution as ColeBackend.
 type ShardedColeBackend struct {
-	Store *shard.Store
+	Store   *shard.Store
+	snap    *shard.Snapshot
+	overlay *blockOverlay
 }
 
 // OpenShardedCole opens a sharded COLE backend with opts.Shards
@@ -60,32 +131,70 @@ func OpenShardedCole(opts core.Options) (*ShardedColeBackend, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedColeBackend{Store: s}, nil
+	return &ShardedColeBackend{Store: s, overlay: newBlockOverlay()}, nil
 }
 
 // BeginBlock implements StateBackend.
-func (b *ShardedColeBackend) BeginBlock(h uint64) error { return b.Store.BeginBlock(h) }
+func (b *ShardedColeBackend) BeginBlock(h uint64) error {
+	if err := b.Store.BeginBlock(h); err != nil {
+		return err
+	}
+	b.releaseSnap()
+	b.snap = b.Store.Snapshot()
+	b.overlay.reset()
+	return nil
+}
+
+func (b *ShardedColeBackend) releaseSnap() {
+	if b.snap != nil {
+		b.snap.Release()
+		b.snap = nil
+	}
+}
 
 // Put implements StateBackend.
 func (b *ShardedColeBackend) Put(addr types.Address, v types.Value) error {
-	return b.Store.Put(addr, v)
+	if err := b.Store.Put(addr, v); err != nil {
+		return err
+	}
+	b.overlay.put(addr, v)
+	return nil
 }
 
 // PutBatch implements BatchBackend.
 func (b *ShardedColeBackend) PutBatch(updates []types.Update) error {
-	return b.Store.PutBatch(updates)
+	if err := b.Store.PutBatch(updates); err != nil {
+		return err
+	}
+	for _, u := range updates {
+		b.overlay.put(u.Addr, u.Value)
+	}
+	return nil
 }
 
 // Get implements StateBackend.
 func (b *ShardedColeBackend) Get(addr types.Address) (types.Value, bool, error) {
+	if v, ok := b.overlay.get(addr); ok {
+		return v, true, nil
+	}
+	if b.snap != nil {
+		return b.snap.Get(addr)
+	}
 	return b.Store.Get(addr)
 }
 
 // Commit implements StateBackend.
-func (b *ShardedColeBackend) Commit() (types.Hash, error) { return b.Store.Commit() }
+func (b *ShardedColeBackend) Commit() (types.Hash, error) {
+	root, err := b.Store.Commit()
+	b.releaseSnap()
+	return root, err
+}
 
 // Close implements StateBackend.
-func (b *ShardedColeBackend) Close() error { return b.Store.Close() }
+func (b *ShardedColeBackend) Close() error {
+	b.releaseSnap()
+	return b.Store.Close()
+}
 
 // MPTBackend adapts the persistent Merkle Patricia Trie baseline.
 type MPTBackend struct {

@@ -8,16 +8,29 @@ import (
 	"cole/internal/types"
 )
 
-// TestConcurrentReadsDuringWrites hammers Get/GetAt/ProvQuery from
-// multiple goroutines while the write path runs blocks and background
-// merges fire (run under -race in CI). Readers must always see a
-// consistent committed state: any value returned for an address must be
-// one the workload actually wrote.
+// TestConcurrentReadsDuringWrites hammers Get/GetAt/ProvQuery and pinned
+// Snapshots from multiple goroutines while the write path runs blocks and
+// merges fire (run under -race in CI), on both COLE (sync merge) and
+// COLE* (async merge). Readers must always observe a state consistent
+// with some published view: every value returned was actually written,
+// every provenance proof verifies against the root of the view that
+// produced it, and after the readers quiesce every retired run file has
+// been reclaimed (no leaks, no use-after-delete).
 func TestConcurrentReadsDuringWrites(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long concurrency soak; the CI -race job runs it without -short")
 	}
-	opts := testOpts(t, true)
+	for _, async := range []bool{false, true} {
+		name := "sync"
+		if async {
+			name = "async"
+		}
+		t.Run(name, func(t *testing.T) { concurrentReadSoak(t, async) })
+	}
+}
+
+func concurrentReadSoak(t *testing.T, async bool) {
+	opts := testOpts(t, async)
 	opts.MemCapacity = 64
 	e := openEngine(t, opts)
 
@@ -55,7 +68,7 @@ func TestConcurrentReadsDuringWrites(t *testing.T) {
 				default:
 				}
 				addr := types.AddressFromUint64(uint64(r.Intn(addrSpace)))
-				switch r.Intn(3) {
+				switch r.Intn(4) {
 				case 0:
 					v, ok, err := e.Get(addr)
 					if err != nil {
@@ -71,6 +84,43 @@ func TestConcurrentReadsDuringWrites(t *testing.T) {
 						errs <- err
 						return
 					}
+				case 2:
+					// Pin a snapshot and check its reads and proofs agree
+					// with the one published state it froze.
+					snap := e.Snapshot()
+					h := snap.Height()
+					v, ok, err := snap.Get(addr)
+					if err != nil {
+						snap.Release()
+						errs <- err
+						return
+					}
+					if ok && !valid(addr, v) {
+						snap.Release()
+						errs <- errPhantom
+						return
+					}
+					if h >= 2 {
+						versions, proof, err := snap.ProvQuery(addr, 1, h)
+						if err != nil {
+							snap.Release()
+							errs <- err
+							return
+						}
+						if _, err := VerifyProv(snap.Root(), addr, 1, h, proof); err != nil {
+							snap.Release()
+							errs <- err
+							return
+						}
+						// Within one snapshot, Get must agree with the
+						// newest provenance version.
+						if ok && len(versions) > 0 && versions[0].Value != v {
+							snap.Release()
+							errs <- errPhantom
+							return
+						}
+					}
+					snap.Release()
 				default:
 					h := e.Height()
 					if h < 2 {
@@ -114,6 +164,18 @@ func TestConcurrentReadsDuringWrites(t *testing.T) {
 	case err := <-errs:
 		t.Fatal(err)
 	default:
+	}
+
+	// With every view released, only the files of live (manifest) runs may
+	// remain: retired runs must have been reclaimed on release.
+	if err := e.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	onDisk := runFilesOnDisk(t, opts.Dir)
+	for f := range onDisk {
+		if !currentlyReferenced(t, e, f) {
+			t.Fatalf("leaked run file %s: on disk but not in the structure", f)
+		}
 	}
 }
 

@@ -22,6 +22,22 @@
 // keys are globally unique (a block that updates an address twice after a
 // mid-block flush would otherwise place duplicate ⟨addr, blk⟩ keys in two
 // runs) and aligns recovery checkpoints with block heights.
+//
+// # Read path: published views
+//
+// Reads are snapshot-isolated and lock-free. Every Commit (and FlushAll)
+// builds an immutable `view` of the whole structure — copy-on-write
+// snapshots of the L0 MB-trees plus the committed run list in canonical
+// search order — and publishes it through an atomic pointer.
+// Get/GetAt/GetBatch/ProvQuery pin the current view with two atomic
+// operations and search it without acquiring the engine mutex, concurrently
+// with each other, with commits, and with background merges; Snapshot pins
+// a view across many reads (consistent multi-key queries at one height).
+// Reads therefore observe the state of the last *committed* block, never
+// the writes of a block still being built. Runs retired by a merge are
+// reference-counted: their files are unlinked only after the manifest no
+// longer names them AND the last view that could see them is released, so
+// an in-flight reader can never touch a deleted file (see view.go).
 package core
 
 import (
@@ -159,9 +175,9 @@ type mergeState struct {
 // level is one on-disk level: two run groups (sync mode uses only the
 // writing group) and the level's merge thread.
 type level struct {
-	groups  [2][]*run.Run // committed runs, oldest first
-	writing int           // index of the writing group
-	merge   *mergeState   // in-flight merge of the merging group (async)
+	groups  [2][]*runRef // committed runs (ref-counted), oldest first
+	writing int          // index of the writing group
+	merge   *mergeState  // in-flight merge of the merging group (async)
 }
 
 func (l *level) merging() int { return 1 - l.writing }
@@ -194,9 +210,15 @@ type Engine struct {
 	levels    []*level
 	nextRunID uint64
 
-	// Deferred file deletions: old runs removed from the structure are
-	// unlinked only after the manifest no longer references them.
-	pending []*run.Run
+	// Deferred retirements: runs removed from the structure by a cascade
+	// are marked retired (and their files reclaimed by the last view
+	// holding them) only after the manifest no longer references them.
+	retiring []*runRef
+
+	// viewPtr is the currently-published read view. Readers pin it with
+	// acquireView and never touch mu; Commit/FlushAll swap in a fresh
+	// view after every structural or L0 change.
+	viewPtr atomic.Pointer[view]
 
 	// sched runs every background flush/merge job; possibly shared with
 	// other engines (one pool across all shards of a sharded store).
@@ -207,11 +229,15 @@ type Engine struct {
 	batchIndex map[types.Address]int
 	batchBuf   []Update
 
-	stats Stats
-	// mergeWaits is kept outside stats (atomic, not mu-guarded) because
-	// it is incremented from job goroutines that may be queuing while the
-	// committing thread holds mu waiting on those very jobs.
-	mergeWaits atomic.Int64
+	stats Stats // write-path counters, guarded by mu
+	// Read-path counters are atomics: the lock-free read path must never
+	// acquire mu. mergeWaits is also atomic because it is incremented
+	// from job goroutines that may be queuing while the committing thread
+	// holds mu waiting on those very jobs.
+	gets        atomic.Int64
+	provQueries atomic.Int64
+	bloomSkips  atomic.Int64
+	mergeWaits  atomic.Int64
 }
 
 // Stats aggregates engine counters for the benchmark harness.
@@ -221,6 +247,10 @@ type Stats struct {
 	ProvQueries int64
 	Flushes     int64
 	Merges      int64
+	// BloomSkips counts runs that a point lookup skipped entirely because
+	// the run's Bloom filter excluded the address (no learned-index
+	// descent, no page reads).
+	BloomSkips int64
 	// MergeWaits counts back-pressure events on the merge pool: commit
 	// checkpoints that had to block on an unfinished merge job, plus jobs
 	// that found the shared worker pool saturated and queued before
@@ -269,6 +299,9 @@ func OpenWithScheduler(opts Options, sched *merge.Scheduler) (*Engine, error) {
 		// were full at the checkpoint.
 		e.restartMerges()
 	}
+	// Publish the initial read view (the reopened structure with empty L0
+	// groups) so readers are lock-free from the first Get.
+	e.publishLocked()
 	return e, nil
 }
 
@@ -335,7 +368,7 @@ func (e *Engine) loadManifest() error {
 				if err != nil {
 					return fmt.Errorf("core: open run %d of level %d: %w", id, li+1, err)
 				}
-				lv.groups[g] = append(lv.groups[g], r)
+				lv.groups[g] = append(lv.groups[g], newRunRef(r))
 			}
 		}
 		e.levels = append(e.levels, lv)
@@ -357,8 +390,8 @@ func (e *Engine) writeManifest() error {
 		ls := levelState{Writing: lv.writing}
 		for g := 0; g < 2; g++ {
 			ids := []uint64{}
-			for _, r := range lv.groups[g] {
-				ids = append(ids, r.ID)
+			for _, rr := range lv.groups[g] {
+				ids = append(ids, rr.r.ID)
 			}
 			ls.Groups[g] = ids
 		}
@@ -375,23 +408,15 @@ func (e *Engine) writeManifest() error {
 	return os.Rename(tmp, e.manifestPath())
 }
 
-// dropPending unlinks files of runs that the freshly written manifest no
-// longer references.
-func (e *Engine) dropPending() {
-	for _, r := range e.pending {
-		_ = r.Remove()
-	}
-	e.pending = nil
-}
-
 // cleanOrphans removes run files not referenced by the manifest: leftovers
-// of interrupted merges or of deletions that raced a crash.
+// of interrupted merges, of deletions that raced a crash, or of retired
+// runs whose last reader never released before the process died.
 func (e *Engine) cleanOrphans() error {
 	referenced := make(map[string]bool)
 	for _, lv := range e.levels {
 		for g := 0; g < 2; g++ {
-			for _, r := range lv.groups[g] {
-				for _, f := range run.Files(r.ID) {
+			for _, rr := range lv.groups[g] {
+				for _, f := range run.Files(rr.r.ID) {
 					referenced[f] = true
 				}
 			}
@@ -421,7 +446,7 @@ func (e *Engine) restartMerges() {
 	for i, lv := range e.levels {
 		mg := lv.groups[lv.merging()]
 		if len(mg) == e.opts.SizeRatio && lv.merge == nil {
-			lv.merge = e.startLevelMerge(i, mg)
+			lv.merge = e.startLevelMerge(i, runsOf(mg))
 		}
 	}
 }
@@ -441,11 +466,16 @@ func (e *Engine) CheckpointHeight() uint64 {
 	return e.checkpoint
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters. Read counters are
+// atomics fed by the lock-free read path; write counters are gathered
+// under the engine lock.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	st := e.stats
+	e.mu.Unlock()
+	st.Gets = e.gets.Load()
+	st.ProvQueries = e.provQueries.Load()
+	st.BloomSkips = e.bloomSkips.Load()
 	st.MergeWaits = e.mergeWaits.Load()
 	return st
 }
@@ -498,11 +528,11 @@ func (e *Engine) Storage() StorageBreakdown {
 	sb.Levels = len(e.levels)
 	for _, lv := range e.levels {
 		for g := 0; g < 2; g++ {
-			for _, r := range lv.groups[g] {
-				d, i := r.SizeOnDisk()
+			for _, rr := range lv.groups[g] {
+				d, i := rr.r.SizeOnDisk()
 				sb.DataBytes += d
 				sb.IndexBytes += i
-				sb.Entries += r.Count()
+				sb.Entries += rr.r.Count()
 				sb.Runs++
 			}
 		}
@@ -526,8 +556,8 @@ func (e *Engine) waitMergesLocked() {
 func (e *Engine) closeRuns() {
 	for _, lv := range e.levels {
 		for g := 0; g < 2; g++ {
-			for _, r := range lv.groups[g] {
-				r.Close()
+			for _, rr := range lv.groups[g] {
+				rr.r.Close()
 			}
 		}
 	}
@@ -536,7 +566,9 @@ func (e *Engine) closeRuns() {
 // Close joins background merges and releases file handles. In-memory L0
 // contents are *not* flushed: like the paper's crash model, they are
 // recovered by replaying blocks above CheckpointHeight. Use FlushAll first
-// for a clean shutdown that persists everything.
+// for a clean shutdown that persists everything. Readers (and pinned
+// Snapshots) must quiesce before Close: reads racing a Close fail with a
+// closed-file error.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()

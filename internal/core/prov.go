@@ -83,15 +83,28 @@ func (p *Proof) Size() int {
 }
 
 // ProvQuery returns the versions of addr written in block heights
-// [blkLo, blkHi] together with a proof verifiable against the current
-// Hstate (Algorithm 8). Versions are returned newest first.
+// [blkLo, blkHi] together with a proof verifiable against the Hstate of
+// the last committed block (Algorithm 8). Versions are returned newest
+// first. Lock-free: the query runs against the published read view,
+// concurrently with commits and merges; use Snapshot to issue several
+// queries against one pinned state.
 func (e *Engine) ProvQuery(addr types.Address, blkLo, blkHi uint64) ([]Version, *Proof, error) {
+	v := e.acquireView()
+	defer v.release()
+	return e.provInView(v, addr, blkLo, blkHi)
+}
+
+// provInView walks one immutable view in canonical component order. The
+// resulting proof reconstructs exactly the view's root digest: frozen L0
+// snapshots yield the MB-tree parts, and the view's run list (pinned by
+// reference counts, so a concurrent merge cannot delete the files) yields
+// the searched spans, Bloom non-membership disclosures, and early-stop
+// digests.
+func (e *Engine) provInView(v *view, addr types.Address, blkLo, blkHi uint64) ([]Version, *Proof, error) {
 	if blkHi < blkLo {
 		return nil, nil, fmt.Errorf("core: inverted block range [%d,%d]", blkLo, blkHi)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.stats.ProvQueries++
+	e.provQueries.Add(1)
 
 	kl := types.ProvLowerKey(addr, blkLo)
 	ku := types.ProvUpperKey(addr, blkHi)
@@ -99,12 +112,10 @@ func (e *Engine) ProvQuery(addr types.Address, blkLo, blkHi uint64) ([]Version, 
 	var versions []Version
 	stopped := false
 
-	var memErr error
-	e.forEachMemLocked(func(g *memGroup) bool {
-		entries, p, err := g.tree.ProveRange(kl, ku)
+	for _, m := range v.mems {
+		entries, p, err := m.tree.ProveRange(kl, ku)
 		if err != nil {
-			memErr = err
-			return false
+			return nil, nil, err
 		}
 		proof.Mem = append(proof.Mem, MemPart{Proof: p})
 		for _, ent := range entries {
@@ -118,22 +129,17 @@ func (e *Engine) ProvQuery(addr types.Address, blkLo, blkHi uint64) ([]Version, 
 				stopped = true
 			}
 		}
-		return true
-	})
-	if memErr != nil {
-		return nil, nil, memErr
 	}
 
-	var runErr error
-	e.forEachRunLocked(func(r *run.Run) bool {
+	for _, rr := range v.runs {
+		r := rr.r
 		if stopped {
 			proof.Unsearched = append(proof.Unsearched, r.Digest())
-			return true
+			continue
 		}
 		res, err := r.ProvSearch(addr, blkLo, blkHi)
 		if err != nil {
-			runErr = err
-			return false
+			return nil, nil, err
 		}
 		if res.BloomMiss {
 			proof.Runs = append(proof.Runs, RunPart{
@@ -141,7 +147,7 @@ func (e *Engine) ProvQuery(addr types.Address, blkLo, blkHi uint64) ([]Version, 
 				BloomBytes: r.BloomBytes(),
 				MHTRoot:    r.MHTRoot(),
 			})
-			return true
+			continue
 		}
 		proof.Runs = append(proof.Runs, RunPart{BloomDigest: r.BloomDigest(), Prov: res})
 		for _, ent := range res.Results {
@@ -150,10 +156,6 @@ func (e *Engine) ProvQuery(addr types.Address, blkLo, blkHi uint64) ([]Version, 
 		if res.StopEarly {
 			stopped = true
 		}
-		return true
-	})
-	if runErr != nil {
-		return nil, nil, runErr
 	}
 
 	sort.Slice(versions, func(i, j int) bool { return versions[i].Blk > versions[j].Blk })

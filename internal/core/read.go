@@ -1,24 +1,15 @@
 package core
 
 import (
-	"cole/internal/run"
 	"cole/internal/types"
 )
 
-// searchParts enumerates the engine's components in canonical search order
-// (Algorithm 6): L0 writing group, L0 merging group, then per level the
-// writing-group runs newest-first followed by the merging-group runs
-// newest-first. This is also the root_hash_list order.
-func (e *Engine) forEachMemLocked(fn func(*memGroup) bool) {
-	if !fn(e.mem[e.memWriting]) {
-		return
-	}
-	if e.opts.AsyncMerge {
-		fn(e.mem[1-e.memWriting])
-	}
-}
-
-func (e *Engine) forEachRunLocked(fn func(*run.Run) bool) {
+// forEachRunLocked enumerates the committed runs in canonical search
+// order (Algorithm 6): per level the writing-group runs newest-first
+// followed by the merging-group runs newest-first. This is also the
+// root_hash_list order. Caller holds e.mu; the read path instead walks
+// the same ordering frozen inside a published view.
+func (e *Engine) forEachRunLocked(fn func(*runRef) bool) {
 	for _, lv := range e.levels {
 		for _, g := range [2]int{lv.writing, lv.merging()} {
 			runs := lv.groups[g]
@@ -34,8 +25,10 @@ func (e *Engine) forEachRunLocked(fn func(*run.Run) bool) {
 	}
 }
 
-// Get returns the latest value of addr, searching levels newest to oldest
-// and stopping at the first hit (Algorithm 6).
+// Get returns the latest value of addr as of the last committed block,
+// searching levels newest to oldest and stopping at the first hit
+// (Algorithm 6). Lock-free: it runs against the published read view,
+// concurrently with commits and merges.
 func (e *Engine) Get(addr types.Address) (types.Value, bool, error) {
 	return e.getAt(addr, types.MaxBlock)
 }
@@ -48,6 +41,36 @@ func (e *Engine) GetAt(addr types.Address, blk uint64) (types.Value, uint64, boo
 		return types.Value{}, 0, false, err
 	}
 	return hit.Value, hit.Blk, true, nil
+}
+
+// ReadResult is one point-lookup outcome of a batched read.
+type ReadResult struct {
+	Value types.Value
+	// Blk is the height the returned value was written at.
+	Blk   uint64
+	Found bool
+}
+
+// GetBatch resolves many point lookups against one pinned view: all
+// results are consistent with the same committed state, and the view is
+// acquired once instead of once per address.
+func (e *Engine) GetBatch(addrs []types.Address) ([]ReadResult, error) {
+	v := e.acquireView()
+	defer v.release()
+	return e.getBatchInView(v, addrs)
+}
+
+func (e *Engine) getBatchInView(v *view, addrs []types.Address) ([]ReadResult, error) {
+	e.gets.Add(int64(len(addrs)))
+	out := make([]ReadResult, len(addrs))
+	for i, addr := range addrs {
+		hit, ok, err := e.lookupInView(v, addr, types.MaxBlock)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ReadResult{Value: hit.Value, Blk: hit.Blk, Found: ok}
+	}
+	return out, nil
 }
 
 type versionHit struct {
@@ -64,45 +87,39 @@ func (e *Engine) getAt(addr types.Address, blk uint64) (types.Value, bool, error
 }
 
 func (e *Engine) lookup(addr types.Address, blk uint64) (versionHit, bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.stats.Gets++
+	v := e.acquireView()
+	defer v.release()
+	e.gets.Add(1)
+	return e.lookupInView(v, addr, blk)
+}
 
+// lookupInView is the zero-lock point lookup (Algorithm 6) over one
+// published view: L0 snapshots first (filter-gated tree predecessor),
+// then every run newest-to-oldest, probing each run's Bloom filter before
+// descending its learned index — a filter miss skips the run without any
+// page read and is counted in Stats.BloomSkips.
+func (e *Engine) lookupInView(v *view, addr types.Address, blk uint64) (versionHit, bool, error) {
 	key := types.CompoundKey{Addr: addr, Blk: blk}
-	var (
-		found bool
-		hit   versionHit
-	)
-	e.forEachMemLocked(func(g *memGroup) bool {
-		if !g.filter.MayContain(addr) {
-			return true
+	for _, m := range v.mems {
+		if !m.filter.MayContain(addr) {
+			continue
 		}
-		if ent, ok := g.tree.Predecessor(key); ok && ent.Key.Addr == addr {
-			hit = versionHit{Value: ent.Value, Blk: ent.Key.Blk}
-			found = true
-			return false
+		if ent, ok := m.tree.Predecessor(key); ok && ent.Key.Addr == addr {
+			return versionHit{Value: ent.Value, Blk: ent.Key.Blk}, true, nil
 		}
-		return true
-	})
-	if found {
-		return hit, true, nil
 	}
-	var searchErr error
-	e.forEachRunLocked(func(r *run.Run) bool {
-		ent, _, ok, _, err := r.GetAt(addr, blk)
+	for _, rr := range v.runs {
+		if !rr.r.MayContain(addr) {
+			e.bloomSkips.Add(1)
+			continue
+		}
+		ent, _, ok, err := rr.r.SearchAt(addr, blk)
 		if err != nil {
-			searchErr = err
-			return false
+			return versionHit{}, false, err
 		}
 		if ok {
-			hit = versionHit{Value: ent.Value, Blk: ent.Key.Blk}
-			found = true
-			return false
+			return versionHit{Value: ent.Value, Blk: ent.Key.Blk}, true, nil
 		}
-		return true
-	})
-	if searchErr != nil {
-		return versionHit{}, false, searchErr
 	}
-	return hit, found, nil
+	return versionHit{}, false, nil
 }

@@ -101,7 +101,8 @@ func (e *Engine) PutBatch(updates []Update) error {
 
 // Commit finalizes the current block: it runs the flush/merge cascade if
 // the L0 writing group is full, persists the manifest when the structure
-// changed, and returns the block's state root digest Hstate.
+// changed, publishes the new read view, and returns the block's state
+// root digest Hstate.
 func (e *Engine) Commit() (types.Hash, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -130,9 +131,15 @@ func (e *Engine) Commit() (types.Hash, error) {
 		if err := e.writeManifest(); err != nil {
 			return types.Hash{}, err
 		}
-		e.dropPending()
 	}
-	return e.rootDigestLocked(), nil
+	root := e.rootDigestLocked()
+	// Publish after the digest warmed every L0 hash (the frozen snapshots
+	// must be clean for concurrent readers) and after the manifest write,
+	// then retire the runs the cascade removed: the fresh view excludes
+	// them, and views still pinning them keep their files alive.
+	e.publishLocked()
+	e.retireLocked()
+	return root, nil
 }
 
 // RootDigest returns the current Hstate without committing.
@@ -152,17 +159,10 @@ func (e *Engine) rootHashListLocked() []types.Hash {
 	if e.opts.AsyncMerge {
 		list = append(list, e.mem[1-e.memWriting].tree.RootHash())
 	}
-	for _, lv := range e.levels {
-		for _, g := range [2]int{lv.writing, lv.merging()} {
-			runs := lv.groups[g]
-			for i := len(runs) - 1; i >= 0; i-- {
-				list = append(list, runs[i].Digest())
-			}
-			if !e.opts.AsyncMerge {
-				break // sync mode uses a single group per level
-			}
-		}
-	}
+	e.forEachRunLocked(func(rr *runRef) bool {
+		list = append(list, rr.r.Digest())
+		return true
+	})
 	return list
 }
 
@@ -211,7 +211,7 @@ func (e *Engine) cascadeSync() error {
 		return err
 	}
 	e.mem[e.memWriting] = fresh
-	e.ensureLevel(0).groups[0] = append(e.levels[0].groups[0], r)
+	e.ensureLevel(0).groups[0] = append(e.levels[0].groups[0], newRunRef(r))
 	e.stats.Flushes++
 
 	for i := 0; i < len(e.levels); i++ {
@@ -219,13 +219,13 @@ func (e *Engine) cascadeSync() error {
 		if len(lv.groups[0]) < e.opts.SizeRatio {
 			break
 		}
-		merged, err := e.buildMergedRun(lv.groups[0])
+		merged, err := e.buildMergedRun(runsOf(lv.groups[0]))
 		if err != nil {
 			return err
 		}
-		e.pending = append(e.pending, lv.groups[0]...)
+		e.retiring = append(e.retiring, lv.groups[0]...)
 		lv.groups[0] = nil
-		e.ensureLevel(i + 1).groups[0] = append(e.levels[i+1].groups[0], merged)
+		e.ensureLevel(i + 1).groups[0] = append(e.levels[i+1].groups[0], newRunRef(merged))
 		e.stats.Merges++
 	}
 	return nil
@@ -267,12 +267,12 @@ func (e *Engine) cascadeAsync() error {
 				return err
 			}
 			lv.merge = nil
-			e.pending = append(e.pending, lv.groups[lv.merging()]...)
+			e.retiring = append(e.retiring, lv.groups[lv.merging()]...)
 			lv.groups[lv.merging()] = nil
 		}
 		lv.writing = lv.merging()
 		mgRuns := lv.groups[lv.merging()]
-		lv.merge = e.startLevelMerge(i, mgRuns)
+		lv.merge = e.startLevelMerge(i, runsOf(mgRuns))
 		e.stats.Merges++
 	}
 	return nil
@@ -293,7 +293,7 @@ func (e *Engine) commitMerge(ms *mergeState, destLevel int) error {
 		return fmt.Errorf("core: background merge failed: %w", ms.err)
 	}
 	lv := e.ensureLevel(destLevel)
-	lv.groups[lv.writing] = append(lv.groups[lv.writing], ms.newRun)
+	lv.groups[lv.writing] = append(lv.groups[lv.writing], newRunRef(ms.newRun))
 	return nil
 }
 
@@ -398,7 +398,7 @@ func (e *Engine) FlushAll() error {
 				return err
 			}
 			lv.merge = nil
-			e.pending = append(e.pending, lv.groups[lv.merging()]...)
+			e.retiring = append(e.retiring, lv.groups[lv.merging()]...)
 			lv.groups[lv.merging()] = nil
 		}
 	}
@@ -416,7 +416,7 @@ func (e *Engine) FlushAll() error {
 			return err
 		}
 		lv := e.ensureLevel(0)
-		lv.groups[lv.writing] = append(lv.groups[lv.writing], r)
+		lv.groups[lv.writing] = append(lv.groups[lv.writing], newRunRef(r))
 		fresh, err := newMemGroup(e.opts)
 		if err != nil {
 			return err
@@ -429,7 +429,9 @@ func (e *Engine) FlushAll() error {
 	if err := e.writeManifest(); err != nil {
 		return err
 	}
-	e.dropPending()
+	e.rootDigestLocked() // warm L0 hashes for the snapshot
+	e.publishLocked()
+	e.retireLocked()
 	return nil
 }
 

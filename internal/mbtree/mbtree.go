@@ -11,6 +11,13 @@
 // insert/overwrite, point and predecessor lookups, ordered scans, and
 // authenticated range queries — but no deletion (COLE never deletes;
 // obsolete versions are superseded by newer compound keys).
+//
+// Snapshot returns an O(1) frozen copy-on-write view of the tree: the
+// snapshot shares the current nodes, and subsequent Inserts on the live
+// tree path-copy any shared node before mutating it (generation-stamped
+// nodes, classic persistent B-tree). A snapshot whose hashes were warmed
+// with RootHash() before it was taken is safe for concurrent readers —
+// every operation on it, including ProveRange, is a pure read.
 package mbtree
 
 import (
@@ -33,18 +40,22 @@ type Tree struct {
 	root   node
 	fanout int
 	size   int
+	// gen is the copy-on-write generation: nodes stamped with an older
+	// generation are shared with a snapshot and must be copied before
+	// they are mutated.
+	gen uint64
 }
 
 type node interface {
 	minKey() types.CompoundKey
 	digest() types.Hash
-	markDirty()
 }
 
 type leafNode struct {
 	entries []types.Entry
 	hash    types.Hash
 	dirty   bool
+	gen     uint64
 }
 
 type internalNode struct {
@@ -52,6 +63,7 @@ type internalNode struct {
 	children []node
 	hash     types.Hash
 	dirty    bool
+	gen      uint64
 }
 
 // New creates an empty tree with the given fanout (≥ 3; DefaultFanout if 0).
@@ -68,54 +80,103 @@ func New(fanout int) (*Tree, error) {
 // Size returns the number of entries.
 func (t *Tree) Size() int { return t.size }
 
+// Snapshot returns a frozen copy-on-write view of the tree in O(1): the
+// snapshot shares the current nodes, and the live tree path-copies any
+// shared node before mutating it, so the snapshot's structure, contents,
+// and root hash never change. Warm the hash cache (RootHash) before
+// snapshotting if the snapshot will be read concurrently: a snapshot with
+// clean digests is safe for any number of parallel readers while the live
+// tree keeps absorbing Inserts.
+func (t *Tree) Snapshot() *Tree {
+	snap := &Tree{root: t.root, fanout: t.fanout, size: t.size, gen: t.gen}
+	t.gen++ // every current node is now shared; copy before mutating
+	return snap
+}
+
+// ownedLeaf returns n if it is exclusively owned by the live tree, or a
+// copy stamped with the current generation otherwise.
+func (t *Tree) ownedLeaf(n *leafNode) *leafNode {
+	if n.gen == t.gen {
+		return n
+	}
+	return &leafNode{
+		entries: append([]types.Entry(nil), n.entries...),
+		hash:    n.hash,
+		dirty:   n.dirty,
+		gen:     t.gen,
+	}
+}
+
+// ownedInternal is ownedLeaf for internal nodes; children pointers are
+// shared (they are copied on their own first mutation).
+func (t *Tree) ownedInternal(n *internalNode) *internalNode {
+	if n.gen == t.gen {
+		return n
+	}
+	return &internalNode{
+		mins:     append([]types.CompoundKey(nil), n.mins...),
+		children: append([]node(nil), n.children...),
+		hash:     n.hash,
+		dirty:    n.dirty,
+		gen:      t.gen,
+	}
+}
+
 // Insert adds an entry, overwriting the value if the compound key exists
 // (the last write of an address within a block wins).
 func (t *Tree) Insert(key types.CompoundKey, value types.Value) {
 	e := types.Entry{Key: key, Value: value}
 	if t.root == nil {
-		t.root = &leafNode{entries: []types.Entry{e}, dirty: true}
+		t.root = &leafNode{entries: []types.Entry{e}, dirty: true, gen: t.gen}
 		t.size = 1
 		return
 	}
-	replaced, right := t.insert(t.root, e)
+	self, replaced, right := t.insert(t.root, e)
+	t.root = self
 	if !replaced {
 		t.size++
 	}
 	if right != nil {
 		t.root = &internalNode{
-			mins:     []types.CompoundKey{t.root.minKey(), right.minKey()},
-			children: []node{t.root, right},
+			mins:     []types.CompoundKey{self.minKey(), right.minKey()},
+			children: []node{self, right},
 			dirty:    true,
+			gen:      t.gen,
 		}
 	}
 }
 
-// insert returns whether an existing key was replaced, and a new right
-// sibling if n split.
-func (t *Tree) insert(n node, e types.Entry) (replaced bool, right node) {
-	switch nd := n.(type) {
+// insert descends copy-on-write: it returns the node that now holds the
+// subtree (n itself, or a generation-stamped copy if n was shared with a
+// snapshot), whether an existing key was replaced, and a new right
+// sibling if the subtree split.
+func (t *Tree) insert(n node, e types.Entry) (self node, replaced bool, right node) {
+	switch v := n.(type) {
 	case *leafNode:
+		nd := t.ownedLeaf(v)
 		nd.dirty = true
 		idx, found := searchEntries(nd.entries, e.Key)
 		if found {
 			nd.entries[idx] = e
-			return true, nil
+			return nd, true, nil
 		}
 		nd.entries = append(nd.entries, types.Entry{})
 		copy(nd.entries[idx+1:], nd.entries[idx:])
 		nd.entries[idx] = e
 		if len(nd.entries) <= t.fanout {
-			return false, nil
+			return nd, false, nil
 		}
 		mid := len(nd.entries) / 2
-		sib := &leafNode{entries: append([]types.Entry(nil), nd.entries[mid:]...), dirty: true}
+		sib := &leafNode{entries: append([]types.Entry(nil), nd.entries[mid:]...), dirty: true, gen: t.gen}
 		nd.entries = nd.entries[:mid]
-		return false, sib
+		return nd, false, sib
 	case *internalNode:
+		nd := t.ownedInternal(v)
 		nd.dirty = true
 		ci := childIndex(nd.mins, e.Key)
-		replaced, newChild := t.insert(nd.children[ci], e)
-		nd.mins[ci] = nd.children[ci].minKey()
+		child, replaced, newChild := t.insert(nd.children[ci], e)
+		nd.children[ci] = child
+		nd.mins[ci] = child.minKey()
 		if newChild != nil {
 			nd.mins = append(nd.mins, types.CompoundKey{})
 			nd.children = append(nd.children, nil)
@@ -125,17 +186,18 @@ func (t *Tree) insert(n node, e types.Entry) (replaced bool, right node) {
 			nd.children[ci+1] = newChild
 		}
 		if len(nd.children) <= t.fanout {
-			return replaced, nil
+			return nd, replaced, nil
 		}
 		mid := len(nd.children) / 2
 		sib := &internalNode{
 			mins:     append([]types.CompoundKey(nil), nd.mins[mid:]...),
 			children: append([]node(nil), nd.children[mid:]...),
 			dirty:    true,
+			gen:      t.gen,
 		}
 		nd.mins = nd.mins[:mid]
 		nd.children = nd.children[:mid]
-		return replaced, sib
+		return nd, replaced, sib
 	}
 	panic("mbtree: unknown node type")
 }
@@ -295,8 +357,6 @@ func (n *leafNode) minKey() types.CompoundKey {
 	return n.entries[0].Key
 }
 
-func (n *leafNode) markDirty() { n.dirty = true }
-
 func (n *leafNode) digest() types.Hash {
 	if !n.dirty {
 		return n.hash
@@ -312,8 +372,6 @@ func (n *leafNode) digest() types.Hash {
 }
 
 func (n *internalNode) minKey() types.CompoundKey { return n.mins[0] }
-
-func (n *internalNode) markDirty() { n.dirty = true }
 
 func (n *internalNode) digest() types.Hash {
 	if !n.dirty {

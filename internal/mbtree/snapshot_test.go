@@ -1,0 +1,145 @@
+package mbtree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cole/internal/types"
+)
+
+func snapKey(i uint64) types.CompoundKey {
+	return types.CompoundKey{Addr: types.AddressFromUint64(i % 64), Blk: i}
+}
+
+// TestSnapshotFrozen checks that a snapshot's contents and root hash are
+// immune to every later Insert on the live tree, including overwrites of
+// keys the snapshot holds and splits of shared nodes.
+func TestSnapshotFrozen(t *testing.T) {
+	tr, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 200; i++ {
+		tr.Insert(snapKey(i), types.ValueFromUint64(i))
+	}
+	root := tr.RootHash()
+	snap := tr.Snapshot()
+
+	if snap.Size() != 200 || snap.RootHash() != root {
+		t.Fatal("snapshot does not match the tree it was taken from")
+	}
+
+	// Overwrite half the existing keys and add new ones.
+	for i := uint64(0); i < 300; i++ {
+		tr.Insert(snapKey(i), types.ValueFromUint64(i+1000))
+	}
+	if tr.RootHash() == root {
+		t.Fatal("live tree root did not change")
+	}
+	if snap.RootHash() != root {
+		t.Fatal("snapshot root changed under writes")
+	}
+	if snap.Size() != 200 {
+		t.Fatalf("snapshot size %d, want 200", snap.Size())
+	}
+	for i := uint64(0); i < 200; i++ {
+		v, ok := snap.Get(snapKey(i))
+		if !ok || v != types.ValueFromUint64(i) {
+			t.Fatalf("snapshot key %d = %v ok=%v, want original value", i, v, ok)
+		}
+	}
+	if _, ok := snap.Get(snapKey(250)); ok {
+		t.Fatal("snapshot sees a key inserted after it was taken")
+	}
+	// Proofs built from the snapshot verify against the frozen root.
+	lo := types.CompoundKey{}
+	hi := types.CompoundKey{Addr: types.AddressFromUint64(3), Blk: types.MaxBlock}
+	_, proof, err := snap.ProveRange(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyRange(root, proof); err != nil {
+		t.Fatalf("snapshot proof: %v", err)
+	}
+}
+
+// TestSnapshotChain takes a snapshot per round and checks every older
+// snapshot stays intact (multiple generations sharing structure).
+func TestSnapshotChain(t *testing.T) {
+	tr, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type gen struct {
+		snap *Tree
+		root types.Hash
+		size int
+	}
+	var gens []gen
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 50; i++ {
+			k := uint64(round*50 + i)
+			tr.Insert(snapKey(k), types.ValueFromUint64(k))
+		}
+		tr.RootHash()
+		gens = append(gens, gen{snap: tr.Snapshot(), root: tr.RootHash(), size: tr.Size()})
+	}
+	for gi, g := range gens {
+		if g.snap.RootHash() != g.root || g.snap.Size() != g.size {
+			t.Fatalf("generation %d drifted", gi)
+		}
+	}
+}
+
+// TestSnapshotConcurrentReaders runs parallel readers over warmed
+// snapshots while the live tree keeps inserting (meant for -race).
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	tr, err := New(DefaultFanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(snapKey(i), types.ValueFromUint64(i))
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	spawnReaders := func(snap *Tree, upTo uint64) {
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(seed))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					i := uint64(r.Intn(int(upTo)))
+					if _, ok := snap.Get(snapKey(i)); !ok {
+						t.Error("snapshot lost a key")
+						return
+					}
+					snap.Predecessor(snapKey(i))
+					k := snapKey(i)
+					if _, _, err := snap.ProveRange(k, types.CompoundKey{Addr: k.Addr, Blk: k.Blk + 10}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(int64(g))
+		}
+	}
+
+	for round := uint64(1); round <= 5; round++ {
+		tr.RootHash() // warm digests so snapshot reads are pure
+		spawnReaders(tr.Snapshot(), round*100)
+		for i := round * 100; i < (round+1)*100; i++ {
+			tr.Insert(snapKey(i), types.ValueFromUint64(i))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

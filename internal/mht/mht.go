@@ -18,6 +18,7 @@ package mht
 import (
 	"fmt"
 	"os"
+	"sync/atomic"
 
 	"cole/internal/types"
 )
@@ -215,7 +216,9 @@ type File struct {
 	counts  []int64
 	offsets []int64
 
-	hashReads int64
+	// hashReads is atomic: proof building runs on the engine's lock-free
+	// read path, where any number of readers share one File.
+	hashReads atomic.Int64
 }
 
 // Open opens a Merkle file for n leaves with fanout m.
@@ -255,7 +258,7 @@ func (r *File) NodeHash(layer int, idx int64) (types.Hash, error) {
 	if _, err := r.f.ReadAt(h[:], (r.offsets[layer]+idx)*types.HashSize); err != nil {
 		return types.Hash{}, err
 	}
-	r.hashReads++
+	r.hashReads.Add(1)
 	return h, nil
 }
 
@@ -265,7 +268,7 @@ func (r *File) Root() (types.Hash, error) {
 }
 
 // HashReads returns how many node hashes were fetched (IO accounting).
-func (r *File) HashReads() int64 { return r.hashReads }
+func (r *File) HashReads() int64 { return r.hashReads.Load() }
 
 // Close releases the file handle.
 func (r *File) Close() error { return r.f.Close() }

@@ -369,6 +369,12 @@ func (r *Run) MHTRoot() types.Hash { return r.mhtRoot }
 // BloomDigest returns the digest of the serialized Bloom filter.
 func (r *Run) BloomDigest() types.Hash { return r.filter.Digest() }
 
+// MayContain probes the run's Bloom filter: false means no version of
+// addr exists in this run, so point lookups can skip its learned index
+// entirely. The filter is immutable once the run is built, making the
+// probe safe for concurrent readers.
+func (r *Run) MayContain(addr types.Address) bool { return r.filter.MayContain(addr) }
+
 // BloomBytes returns the serialized Bloom filter (for non-membership
 // proofs).
 func (r *Run) BloomBytes() []byte { return r.filter.Marshal() }

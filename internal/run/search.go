@@ -28,11 +28,19 @@ func (r *Run) GetAt(addr types.Address, blk uint64) (e types.Entry, pos int64, f
 	if !r.filter.MayContain(addr) {
 		return types.Entry{}, 0, false, true, nil
 	}
+	e, pos, ok, err := r.SearchAt(addr, blk)
+	return e, pos, ok, false, err
+}
+
+// SearchAt is GetAt without the Bloom probe: the engine's read path
+// consults MayContain itself (to count filter skips) and then descends
+// the learned index directly, avoiding a second round of filter hashing.
+func (r *Run) SearchAt(addr types.Address, blk uint64) (types.Entry, int64, bool, error) {
 	e, pos, ok, err := r.predecessor(types.CompoundKey{Addr: addr, Blk: blk})
 	if err != nil || !ok || e.Key.Addr != addr {
-		return types.Entry{}, 0, false, false, err
+		return types.Entry{}, 0, false, err
 	}
-	return e, pos, true, false, nil
+	return e, pos, true, nil
 }
 
 // predecessor locates the entry with the largest key ≤ kq using the

@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"cole/internal/core"
 	"cole/internal/merge"
@@ -425,18 +426,185 @@ func (s *Store) Commit() (types.Hash, error) {
 	return CombineRoots(roots), nil
 }
 
-// Get returns the latest value of addr from its owning shard.
+// Get returns the latest committed value of addr from its owning shard.
+// Lock-free: routing reads only immutable fields and the engine read path
+// runs against its published view.
 func (s *Store) Get(addr types.Address) (types.Value, bool, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.engines[ShardOf(addr, s.n)].Get(addr)
 }
 
 // GetAt returns the value of addr active at block height blk.
 func (s *Store) GetAt(addr types.Address, blk uint64) (types.Value, uint64, bool, error) {
+	return s.engines[ShardOf(addr, s.n)].GetAt(addr, blk)
+}
+
+// GetBatch resolves many point lookups in one pass: addresses are
+// bucketed per owning shard, every non-empty bucket runs as one
+// engine-level GetBatch (one view acquisition per shard, concurrent
+// goroutines on multi-core hosts), and results return in input order.
+// The store read-lock excludes commits, so all buckets observe the same
+// block height.
+func (s *Store) GetBatch(addrs []types.Address) ([]core.ReadResult, error) {
+	if len(addrs) == 0 {
+		return nil, nil
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.engines[ShardOf(addr, s.n)].GetAt(addr, blk)
+	out := make([]core.ReadResult, len(addrs))
+	if s.n == 1 {
+		res, err := s.engines[0].GetBatch(addrs)
+		if err != nil {
+			return nil, err
+		}
+		copy(out, res)
+		return out, nil
+	}
+	buckets := make([][]types.Address, s.n)
+	positions := make([][]int, s.n)
+	var nonEmpty []int
+	for pos, addr := range addrs {
+		i := ShardOf(addr, s.n)
+		if len(buckets[i]) == 0 {
+			nonEmpty = append(nonEmpty, i)
+		}
+		buckets[i] = append(buckets[i], addr)
+		positions[i] = append(positions[i], pos)
+	}
+	err := s.runOn(nonEmpty, func(i int) error {
+		res, err := s.engines[i].GetBatch(buckets[i])
+		if err != nil {
+			return err
+		}
+		for k, pos := range positions[i] {
+			out[pos] = res[k]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Snapshot pins every shard's published read view under the store lock
+// (which excludes commits), yielding one consistent multi-shard state: a
+// cross-shard read through the snapshot can never observe shard A at
+// block N and shard B at block N+1. Release it when done so retired run
+// files can be reclaimed.
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := &Snapshot{n: s.n, shards: make([]*core.Snapshot, s.n)}
+	roots := make([]types.Hash, s.n)
+	for i, e := range s.engines {
+		snap.shards[i] = e.Snapshot()
+		roots[i] = snap.shards[i].Root()
+		if h := snap.shards[i].Height(); h > snap.height {
+			snap.height = h
+		}
+	}
+	snap.root = CombineRoots(roots)
+	return snap
+}
+
+// Snapshot is a pinned, consistent read handle over all shards of the
+// store: every read observes the same committed block height on every
+// shard, lock-free, concurrently with commits and merges.
+type Snapshot struct {
+	shards   []*core.Snapshot
+	n        int
+	height   uint64
+	root     types.Hash
+	released atomic.Bool
+}
+
+// Height returns the committed block height the snapshot observes.
+func (sn *Snapshot) Height() uint64 { return sn.height }
+
+// Root returns the combined state digest the snapshot is consistent with.
+func (sn *Snapshot) Root() types.Hash { return sn.root }
+
+// Get returns the latest value of addr as of the snapshot.
+func (sn *Snapshot) Get(addr types.Address) (types.Value, bool, error) {
+	return sn.shards[ShardOf(addr, sn.n)].Get(addr)
+}
+
+// GetAt returns the value of addr active at block height blk.
+func (sn *Snapshot) GetAt(addr types.Address, blk uint64) (types.Value, uint64, bool, error) {
+	return sn.shards[ShardOf(addr, sn.n)].GetAt(addr, blk)
+}
+
+// GetBatch resolves many point lookups, all consistent with the
+// snapshot's height, in input order. Like Store.GetBatch, addresses are
+// bucketed per owning shard and the non-empty buckets resolve
+// concurrently on multi-core hosts.
+func (sn *Snapshot) GetBatch(addrs []types.Address) ([]core.ReadResult, error) {
+	if len(addrs) == 0 {
+		return nil, nil
+	}
+	out := make([]core.ReadResult, len(addrs))
+	if sn.n == 1 {
+		res, err := sn.shards[0].GetBatch(addrs)
+		if err != nil {
+			return nil, err
+		}
+		copy(out, res)
+		return out, nil
+	}
+	buckets := make([][]types.Address, sn.n)
+	positions := make([][]int, sn.n)
+	var nonEmpty []int
+	for pos, addr := range addrs {
+		i := ShardOf(addr, sn.n)
+		if len(buckets[i]) == 0 {
+			nonEmpty = append(nonEmpty, i)
+		}
+		buckets[i] = append(buckets[i], addr)
+		positions[i] = append(positions[i], pos)
+	}
+	resolve := func(i int) error {
+		res, err := sn.shards[i].GetBatch(buckets[i])
+		if err != nil {
+			return err
+		}
+		for k, pos := range positions[i] {
+			out[pos] = res[k]
+		}
+		return nil
+	}
+	if len(nonEmpty) == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for _, i := range nonEmpty {
+			if err := resolve(i); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	errs := make([]error, len(nonEmpty))
+	var wg sync.WaitGroup
+	for k, i := range nonEmpty {
+		wg.Add(1)
+		go func(k, i int) {
+			defer wg.Done()
+			errs[k] = resolve(i)
+		}(k, i)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", nonEmpty[k], err)
+		}
+	}
+	return out, nil
+}
+
+// Release unpins all shard views. Safe to call more than once.
+func (sn *Snapshot) Release() {
+	if sn.released.CompareAndSwap(false, true) {
+		for _, s := range sn.shards {
+			s.Release()
+		}
+	}
 }
 
 // Proof authenticates a provenance query against the combined multi-shard
@@ -476,25 +644,32 @@ func (p *Proof) Size() int {
 
 // ProvQuery answers a provenance query from the owning shard and wraps
 // its proof with the Merkle path of the owning shard's root inside the
-// combined digest.
+// combined digest. The proof verifies against the combined digest of the
+// last committed block: the store read-lock excludes commits while the
+// published per-shard view roots are gathered, and the inner query runs
+// against the owning shard's pinned view — no engine mutex is taken.
 func (s *Store) ProvQuery(addr types.Address, blkLo, blkHi uint64) ([]core.Version, *Proof, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	idx := ShardOf(addr, s.n)
-	versions, inner, err := s.engines[idx].ProvQuery(addr, blkLo, blkHi)
+	snap := s.engines[idx].Snapshot()
+	defer snap.Release()
+	versions, inner, err := snap.ProvQuery(addr, blkLo, blkHi)
 	if err != nil {
 		return nil, nil, err
 	}
-	p := &Proof{Shard: idx, Shards: s.n, Inner: inner}
+	p := &Proof{Shard: idx, Shards: s.n, Inner: inner, Root: snap.Root()}
 	if s.n == 1 {
-		p.Root = s.engines[0].RootDigest()
 		return versions, p, nil
 	}
 	roots := make([]types.Hash, s.n)
 	for i, e := range s.engines {
-		roots[i] = e.RootDigest()
+		if i == idx {
+			roots[i] = snap.Root()
+			continue
+		}
+		roots[i] = e.ViewRoot()
 	}
-	p.Root = roots[idx]
 	p.Path, err = mht.ProveRangeOf(roots, ShardRootFanout, int64(idx), int64(idx))
 	if err != nil {
 		return nil, nil, fmt.Errorf("shard: root path: %w", err)
@@ -615,6 +790,7 @@ func (s *Store) Stats() core.Stats {
 		st.ProvQueries += es.ProvQueries
 		st.Flushes += es.Flushes
 		st.Merges += es.Merges
+		st.BloomSkips += es.BloomSkips
 		st.MergeWaits += es.MergeWaits
 	}
 	return st
