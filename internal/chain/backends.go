@@ -54,6 +54,10 @@ func OpenCole(opts core.Options) (*ColeBackend, error) {
 // BeginBlock implements StateBackend: it pins the pre-block snapshot all
 // of the block's reads are served from.
 func (b *ColeBackend) BeginBlock(h uint64) error {
+	// No stale snapshot can be pinned here: Commit releases it whatever
+	// its outcome, so b.snap is non-nil only while a block is open — and
+	// then the engine rejects the nested BeginBlock below, keeping the
+	// active block's pin (and its isolation) intact.
 	if err := b.Engine.BeginBlock(h); err != nil {
 		return err
 	}
@@ -102,10 +106,13 @@ func (b *ColeBackend) Get(addr types.Address) (types.Value, bool, error) {
 	return b.Engine.Get(addr)
 }
 
-// Commit implements StateBackend.
+// Commit implements StateBackend. The overlay is dropped whatever the
+// outcome: on success the engine serves the block's writes, and on error
+// between-block Gets must not keep serving values that never committed.
 func (b *ColeBackend) Commit() (types.Hash, error) {
 	root, err := b.Engine.Commit()
 	b.releaseSnap()
+	b.overlay.reset()
 	return root, err
 }
 
@@ -136,6 +143,9 @@ func OpenShardedCole(opts core.Options) (*ShardedColeBackend, error) {
 
 // BeginBlock implements StateBackend.
 func (b *ShardedColeBackend) BeginBlock(h uint64) error {
+	// See ColeBackend.BeginBlock: a failed BeginBlock either finds no
+	// snapshot pinned (Commit always released it) or preserves the open
+	// block's pin.
 	if err := b.Store.BeginBlock(h); err != nil {
 		return err
 	}
@@ -183,10 +193,12 @@ func (b *ShardedColeBackend) Get(addr types.Address) (types.Value, bool, error) 
 	return b.Store.Get(addr)
 }
 
-// Commit implements StateBackend.
+// Commit implements StateBackend. The overlay is dropped whatever the
+// outcome (see ColeBackend.Commit).
 func (b *ShardedColeBackend) Commit() (types.Hash, error) {
 	root, err := b.Store.Commit()
 	b.releaseSnap()
+	b.overlay.reset()
 	return root, err
 }
 

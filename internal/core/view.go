@@ -118,7 +118,10 @@ func (e *Engine) publishLocked() {
 	wg.tree.RootHash()
 	// The writing group keeps absorbing Puts after publication: snapshot
 	// its tree (O(1), copy-on-write) and clone its filter. The merging
-	// group is frozen until its flush commits, so it is shared as-is.
+	// group is shared as-is: it stays frozen for its whole lifetime —
+	// cascadeAsync installs a fresh group into the slot before promoting
+	// it back to the writing role, so a group object published here never
+	// absorbs Puts while views still hold it.
 	v.mems = append(v.mems, &memView{tree: wg.tree.Snapshot(), filter: wg.filter.Clone()})
 	if e.opts.AsyncMerge {
 		mg := e.mem[1-e.memWriting]

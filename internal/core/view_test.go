@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"os"
 	"strings"
 	"testing"
@@ -103,6 +104,81 @@ func TestSnapshotIsolation(t *testing.T) {
 		snap.Release() // idempotent
 		e.Close()
 	}
+}
+
+// TestSnapshotPinnedAcrossFirstCascade: a snapshot pinned while no L0
+// merge is pending (after Open, and again after FlushAll) shares the
+// merging-slot group with the engine; the first cascade must not promote
+// that shared object to the writing role and mutate it under the
+// reader. The snapshot is read continuously from another goroutine while
+// commits drive the cascade — under -race this catches any in-place
+// mutation of a published group, and the value check catches a reader
+// observing writes committed after the snapshot's height.
+func TestSnapshotPinnedAcrossFirstCascade(t *testing.T) {
+	opts := testOpts(t, true)
+	opts.MemCapacity = 16
+	e := openEngine(t, opts)
+	addr := types.AddressFromUint64(1)
+
+	readAcrossCascade := func(from, to uint64) {
+		t.Helper()
+		want := (from-1)*1000 + 1 // addr 1's value at the pinned height
+		snap := e.Snapshot()
+		pinned := snap.Height()
+		if pinned != from-1 {
+			t.Fatalf("snapshot height %d, want %d", pinned, from-1)
+		}
+		stop := make(chan struct{})
+		done := make(chan error, 1)
+		go func() {
+			for {
+				select {
+				case <-stop:
+					done <- nil
+					return
+				default:
+				}
+				v, ok, err := snap.Get(addr)
+				if err != nil || !ok || v.Uint64() != want {
+					done <- fmt.Errorf("pinned snapshot read v=%v ok=%v err=%v, want %d", v, ok, err, want)
+					return
+				}
+				// Addresses 4–7 miss the pinned writing-group snapshot
+				// (the pre-pin blocks only wrote 0–3), so these lookups
+				// walk into the shared merging group — the object the
+				// broken promotion would hand to the writer.
+				for a := uint64(4); a < 8; a++ {
+					_, blk, ok, err := snap.GetAt(types.AddressFromUint64(a), types.MaxBlock)
+					if err != nil {
+						done <- err
+						return
+					}
+					if ok && blk > pinned {
+						done <- fmt.Errorf("snapshot observed addr %d written at block %d > pinned height %d", a, blk, pinned)
+						return
+					}
+				}
+			}
+		}()
+		// 8 distinct addrs per block with MemCapacity 16: the first cascade
+		// fires two blocks in, and several more follow.
+		commitBlocks(t, e, from, to, 8)
+		close(stop)
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		snap.Release()
+	}
+
+	commitBlocks(t, e, 1, 2, 4) // committed state, no cascade yet
+	readAcrossCascade(3, 20)    // first cascade after Open
+
+	if err := e.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	commitBlocks(t, e, 21, 22, 4) // no cascade yet after the flush
+	readAcrossCascade(23, 40)     // first cascade after FlushAll
+	e.Close()
 }
 
 // TestCommitDigestMatchesViewRoot: the digest Commit returns is exactly

@@ -241,13 +241,18 @@ func (e *Engine) cascadeAsync() error {
 			return err
 		}
 		e.memMerge = nil
-		// The merging group's tree contents are now durable in L1.
-		fresh, err := newMemGroup(e.opts)
-		if err != nil {
-			return err
-		}
-		e.mem[1-e.memWriting] = fresh
 	}
+	// Replace the merging-slot group before promoting the slot to the
+	// writing role. publishLocked shares the merging group's live tree and
+	// filter into views (it is frozen), so the object sitting in the slot —
+	// whether the group whose flush just committed or the empty group from
+	// Open/FlushAll when no merge was pending — may still be pinned by
+	// readers and must never start absorbing Puts.
+	fresh, err := newMemGroup(e.opts)
+	if err != nil {
+		return err
+	}
+	e.mem[1-e.memWriting] = fresh
 	// Switch roles: the full writing group becomes the merging group.
 	e.memWriting = 1 - e.memWriting
 	mg := e.mem[1-e.memWriting]

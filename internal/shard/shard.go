@@ -438,52 +438,18 @@ func (s *Store) GetAt(addr types.Address, blk uint64) (types.Value, uint64, bool
 	return s.engines[ShardOf(addr, s.n)].GetAt(addr, blk)
 }
 
-// GetBatch resolves many point lookups in one pass: addresses are
-// bucketed per owning shard, every non-empty bucket runs as one
-// engine-level GetBatch (one view acquisition per shard, concurrent
-// goroutines on multi-core hosts), and results return in input order.
-// The store read-lock excludes commits, so all buckets observe the same
-// block height.
+// GetBatch resolves many point lookups in one pass, all observing the
+// same block height on every shard, in input order. It pins a snapshot
+// and delegates to Snapshot.GetBatch: the store lock is held only for the
+// pin, not across the shard lookups, so a large batch never stalls a
+// concurrent Commit.
 func (s *Store) GetBatch(addrs []types.Address) ([]core.ReadResult, error) {
 	if len(addrs) == 0 {
 		return nil, nil
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]core.ReadResult, len(addrs))
-	if s.n == 1 {
-		res, err := s.engines[0].GetBatch(addrs)
-		if err != nil {
-			return nil, err
-		}
-		copy(out, res)
-		return out, nil
-	}
-	buckets := make([][]types.Address, s.n)
-	positions := make([][]int, s.n)
-	var nonEmpty []int
-	for pos, addr := range addrs {
-		i := ShardOf(addr, s.n)
-		if len(buckets[i]) == 0 {
-			nonEmpty = append(nonEmpty, i)
-		}
-		buckets[i] = append(buckets[i], addr)
-		positions[i] = append(positions[i], pos)
-	}
-	err := s.runOn(nonEmpty, func(i int) error {
-		res, err := s.engines[i].GetBatch(buckets[i])
-		if err != nil {
-			return err
-		}
-		for k, pos := range positions[i] {
-			out[pos] = res[k]
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	snap := s.Snapshot()
+	defer snap.Release()
+	return snap.GetBatch(addrs)
 }
 
 // Snapshot pins every shard's published read view under the store lock
@@ -495,15 +461,12 @@ func (s *Store) Snapshot() *Snapshot {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	snap := &Snapshot{n: s.n, shards: make([]*core.Snapshot, s.n)}
-	roots := make([]types.Hash, s.n)
 	for i, e := range s.engines {
 		snap.shards[i] = e.Snapshot()
-		roots[i] = snap.shards[i].Root()
 		if h := snap.shards[i].Height(); h > snap.height {
 			snap.height = h
 		}
 	}
-	snap.root = CombineRoots(roots)
 	return snap
 }
 
@@ -514,6 +477,7 @@ type Snapshot struct {
 	shards   []*core.Snapshot
 	n        int
 	height   uint64
+	rootOnce sync.Once
 	root     types.Hash
 	released atomic.Bool
 }
@@ -522,7 +486,19 @@ type Snapshot struct {
 func (sn *Snapshot) Height() uint64 { return sn.height }
 
 // Root returns the combined state digest the snapshot is consistent with.
-func (sn *Snapshot) Root() types.Hash { return sn.root }
+// Computed on first use: the pinned per-shard roots are immutable, and
+// reads that never verify proofs (Store.GetBatch pins a snapshot per
+// call) skip the O(N) Merkle fold entirely.
+func (sn *Snapshot) Root() types.Hash {
+	sn.rootOnce.Do(func() {
+		roots := make([]types.Hash, sn.n)
+		for i, s := range sn.shards {
+			roots[i] = s.Root()
+		}
+		sn.root = CombineRoots(roots)
+	})
+	return sn.root
+}
 
 // Get returns the latest value of addr as of the snapshot.
 func (sn *Snapshot) Get(addr types.Address) (types.Value, bool, error) {
