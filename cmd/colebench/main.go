@@ -11,9 +11,10 @@
 //	colebench -exp all -json results.json
 //
 // Experiments: fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1
-// mptbreakdown shardscale mergesched readscale all. -shards N runs the
-// COLE systems of any experiment over an N-shard store; for shardscale
-// it sets the top of the power-of-two sweep. -merge-workers W bounds the
+// mptbreakdown shardscale mergesched readscale reshard all. -shards N
+// runs the COLE systems of any experiment over an N-shard store; for
+// shardscale (and the reshard target sweep) it sets the top of the
+// power-of-two sweep. -merge-workers W bounds the
 // shared background merge pool (for mergesched: the top of its sweep);
 // -readers R sets the top of readscale's reader-goroutine sweep; -batch
 // routes each block through the batched write pipeline (off by default
@@ -161,6 +162,16 @@ func main() {
 		c.MergeWorkers = 0
 		run("mergesched", func() (*bench.Table, error) {
 			return bench.MergeSched(c, powerSweep(*workers, 8), *scratch)
+		})
+		any = true
+	}
+	if all || *exp == "reshard" {
+		// The sweep varies the rewrite's *target* count from a fixed
+		// 2-shard source, so the global -shards only sets its upper bound.
+		c := pipelineCfg()
+		c.Shards = 0
+		run("reshard", func() (*bench.Table, error) {
+			return bench.ReshardBench(c, powerSweep(*shards, 8), *scratch)
 		})
 		any = true
 	}

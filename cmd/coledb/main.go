@@ -10,12 +10,21 @@
 //	coledb -dir ledger getat <addr> <height>
 //	coledb -dir ledger prov <addr> <blkLo> <blkHi>
 //	coledb -dir ledger stat
+//	coledb -dir ledger dump
+//	coledb -dir ledger reshard <shards>
 //
 // Addresses and values are free-form strings (hashed/padded to their
 // fixed widths). -shards N partitions a fresh store directory across N
 // engines committed in parallel; the count is persisted per directory,
 // reopening adopts it automatically, and existing unsharded directories
 // keep working as single-shard stores.
+//
+// reshard rewrites the (closed, cleanly flushed) store to a new shard
+// count offline — a partitioned sort-merge of the immutable runs, never
+// a replay — and commits atomically; stat's per-shard balance table
+// shows when the rewrite is worth it. Resharding starts a new root
+// epoch: per-key answers are unchanged, but the combined digest changes
+// with the partition count.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"cole"
 )
@@ -41,7 +51,32 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fail("missing command: put | get | getbatch | getat | prov | stat")
+		fail("missing command: put | get | getbatch | getat | prov | dump | stat | reshard")
+	}
+
+	// reshard runs before (and instead of) the store open: it requires
+	// exclusive ownership of the closed directory.
+	if args[0] == "reshard" {
+		if len(args) != 2 {
+			fail("reshard <shards>")
+		}
+		target := int(parseU64(args[1]))
+		rep, err := cole.Reshard(*dir, target, cole.ReshardOptions{})
+		if err != nil {
+			fail("reshard: %v", err)
+		}
+		fmt.Printf("resharded %d -> %d shards (generation %d) at height %d\n",
+			rep.FromShards, rep.ToShards, rep.Generation, rep.Height)
+		fmt.Printf("rewrote %d entries (%.1f MB) in %s (%.1f MB/s)\n",
+			rep.Entries, float64(rep.Bytes)/(1<<20), rep.Elapsed.Round(time.Millisecond), rep.MBPerSec())
+		for j, c := range rep.PerShard {
+			fmt.Printf("  shard %02d: %d entries\n", j, c)
+		}
+		if rep.ToShards > 1 {
+			fmt.Printf("imbalance: %.2fx (hottest shard / mean)\n", rep.Imbalance)
+		}
+		fmt.Println("note: the combined root digest changed with the partition count (new root epoch)")
+		return
 	}
 
 	// A 1-shard store is byte-compatible with the unsharded engine, so the
@@ -159,16 +194,65 @@ func main() {
 		for _, v := range verified {
 			fmt.Printf("  block %6d: %s\n", v.Blk, renderValue(v.Value))
 		}
+	case "dump":
+		if len(args) != 1 {
+			fail("dump takes no arguments")
+		}
+		// One pinned snapshot: the dump is a consistent full export
+		// (every retained version of every address, sorted by
+		// ⟨address, block⟩) even while the store keeps committing.
+		n, err := store.Export(func(a cole.Address, blk uint64, v cole.Value) error {
+			_, werr := fmt.Printf("%s %d %s\n", a, blk, renderValue(v))
+			return werr
+		})
+		if err != nil {
+			fail("dump: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "%d entries\n", n)
 	case "stat":
 		sb := store.Storage()
 		st := store.Stats()
 		fmt.Printf("height:      %d (checkpoint %d)\n", store.Height(), store.CheckpointHeight())
-		fmt.Printf("shards:      %d\n", store.Shards())
+		fmt.Printf("shards:      %d (reshard generation %d)\n", store.Shards(), store.Generation())
 		fmt.Printf("entries:     %d in %d runs across %d levels\n", sb.Entries, sb.Runs, sb.Levels)
 		fmt.Printf("disk:        %d data bytes + %d index bytes\n", sb.DataBytes, sb.IndexBytes)
 		fmt.Printf("ops:         %d puts, %d gets (%d bloom skips), %d prov queries\n", st.Puts, st.Gets, st.BloomSkips, st.ProvQueries)
 		fmt.Printf("maintenance: %d flushes, %d merges, %d merge waits\n", st.Flushes, st.Merges, st.MergeWaits)
 		fmt.Printf("Hstate:      %s\n", store.RootDigest())
+		if shards := store.ShardStats(); len(shards) > 1 {
+			var totalE, totalB, maxE, maxB int64
+			for _, ss := range shards {
+				totalE += ss.Entries
+				totalB += ss.Bytes
+				if ss.Entries > maxE {
+					maxE = ss.Entries
+				}
+				if ss.Bytes > maxB {
+					maxB = ss.Bytes
+				}
+			}
+			fmt.Printf("balance:     per-shard entries / disk bytes / puts / merge waits\n")
+			for i, ss := range shards {
+				share := 0.0
+				if totalE > 0 {
+					share = 100 * float64(ss.Entries) / float64(totalE)
+				}
+				fmt.Printf("  shard %02d:  %8d (%5.1f%%)  %10d  %8d  %d\n",
+					i, ss.Entries, share, ss.Bytes, ss.Puts, ss.MergeWaits)
+			}
+			n := int64(len(shards))
+			imbE, imbB := 0.0, 0.0
+			if totalE > 0 {
+				imbE = float64(maxE*n) / float64(totalE)
+			}
+			if totalB > 0 {
+				imbB = float64(maxB*n) / float64(totalB)
+			}
+			fmt.Printf("imbalance:   %.2fx entries, %.2fx bytes (hottest shard / mean; 1.00 = even)\n", imbE, imbB)
+			if imbE > 1.5 || imbB > 1.5 {
+				fmt.Printf("hint:        the layout is lopsided; `coledb -dir %s reshard <n>` rewrites it offline\n", *dir)
+			}
+		}
 	default:
 		fail("unknown command %q", args[0])
 	}

@@ -43,6 +43,8 @@ import (
 	"fmt"
 
 	"cole/internal/core"
+	"cole/internal/reshard"
+	"cole/internal/run"
 	"cole/internal/shard"
 	"cole/internal/types"
 )
@@ -97,24 +99,32 @@ func ValueFromBytes(b []byte) Value { return types.ValueFromBytes(b) }
 // Store is a COLE storage engine instance.
 type Store struct {
 	engine *core.Engine
+	unlock func()
 }
 
 // Open creates or reopens a store in opts.Dir. Stores with Shards > 1 are
 // served by OpenSharded (a Store wraps exactly one engine); opening a
 // directory that holds a multi-shard store fails rather than presenting
-// an empty view of it.
+// an empty view of it. The directory's advisory lock is held until
+// Close, so concurrent opens and offline reshards fail loudly.
 func Open(opts Options) (*Store, error) {
 	if opts.Shards > 1 {
 		return nil, fmt.Errorf("cole: Options.Shards = %d; use OpenSharded for a multi-shard store", opts.Shards)
 	}
+	unlock, err := shard.LockDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
 	if err := shard.GuardSingleEngine(opts.Dir); err != nil {
+		unlock()
 		return nil, fmt.Errorf("%w; use OpenSharded", err)
 	}
 	e, err := core.Open(opts)
 	if err != nil {
+		unlock()
 		return nil, err
 	}
-	return &Store{engine: e}, nil
+	return &Store{engine: e, unlock: unlock}, nil
 }
 
 // BeginBlock starts block `height` (monotone; COLE does not fork).
@@ -162,6 +172,18 @@ func (s *Store) ProvQuery(addr Address, blkLo, blkHi uint64) ([]Version, *Proof,
 	return s.engine.ProvQuery(addr, blkLo, blkHi)
 }
 
+// Export streams every live entry of the store — all retained versions
+// of all addresses, globally sorted by ⟨address, block height⟩ —
+// through fn, from one pinned snapshot: the export is consistent with a
+// single committed height and runs concurrently with commits and
+// merges. Returns the number of entries streamed; fn returning an error
+// aborts with that error.
+func (s *Store) Export(fn func(addr Address, blk uint64, v Value) error) (int64, error) {
+	snap := s.engine.Snapshot()
+	defer snap.Release()
+	return exportEntries(snap.Entries(), fn)
+}
+
 // VerifyProv verifies a provenance proof against a state root digest from
 // a block header and returns the authenticated versions.
 func VerifyProv(hstate Hash, addr Address, blkLo, blkHi uint64, proof *Proof) ([]Version, error) {
@@ -187,9 +209,17 @@ func (s *Store) Stats() Stats { return s.engine.Stats() }
 // FlushAll persists the in-memory level for a clean shutdown.
 func (s *Store) FlushAll() error { return s.engine.FlushAll() }
 
-// Close joins background merges and releases file handles. Unflushed L0
-// data is recovered by block replay; call FlushAll first to avoid replay.
-func (s *Store) Close() error { return s.engine.Close() }
+// Close joins background merges, releases file handles, and drops the
+// directory lock. Unflushed L0 data is recovered by block replay; call
+// FlushAll first to avoid replay.
+func (s *Store) Close() error {
+	err := s.engine.Close()
+	if s.unlock != nil {
+		s.unlock()
+		s.unlock = nil
+	}
+	return err
+}
 
 // Snapshot is a pinned, immutable read handle on a store's committed
 // state at one block height. All reads through it are lock-free and
@@ -242,6 +272,10 @@ func OpenSharded(opts Options) (*ShardedStore, error) {
 // Shards returns the partition count.
 func (s *ShardedStore) Shards() int { return s.store.Shards() }
 
+// Generation returns the store's reshard generation: 0 until the first
+// Reshard, then the number of reshards applied to the directory.
+func (s *ShardedStore) Generation() uint64 { return s.store.Generation() }
+
 // ShardOf returns the partition that owns addr.
 func (s *ShardedStore) ShardOf(addr Address) int { return s.store.ShardIndex(addr) }
 
@@ -260,9 +294,13 @@ func (s *ShardedStore) PutBatch(updates []Update) error { return s.store.PutBatc
 // Commit seals the open block across all shards in parallel and returns
 // the combined state root digest for the block header. The digest is
 // deterministic regardless of shard goroutine completion order. During
-// post-crash replay, digests for blocks below the highest shard
-// checkpoint fold in skipped shards' newer roots and only match the
-// originally published headers again once replay passes Height().
+// post-crash replay, a shard whose checkpoint already covers a replayed
+// block contributes the exact root it originally committed at that
+// height (persisted per-shard root history, Options.RootHistory deep),
+// so replayed digests reproduce the originally published headers; a
+// height that has aged out of the retained history falls back to the
+// shard's current root, and with AsyncMerge an actively replaying
+// shard's own digests converge from its first re-triggered cascade.
 func (s *ShardedStore) Commit() (Hash, error) { return s.store.Commit() }
 
 // Get returns the latest committed value of addr (lock-free, snapshot
@@ -290,6 +328,32 @@ func (s *ShardedStore) Snapshot() Snapshot { return s.store.Snapshot() }
 // (newest first) and a proof verifiable against the combined digest.
 func (s *ShardedStore) ProvQuery(addr Address, blkLo, blkHi uint64) ([]Version, *ShardProof, error) {
 	return s.store.ProvQuery(addr, blkLo, blkHi)
+}
+
+// Export streams every live entry of all shards, globally sorted by
+// ⟨address, block height⟩, through fn — see Store.Export. The snapshot
+// pins every shard atomically, so the export is one consistent
+// cross-shard state.
+func (s *ShardedStore) Export(fn func(addr Address, blk uint64, v Value) error) (int64, error) {
+	snap := s.store.Snapshot()
+	defer snap.Release()
+	return exportEntries(snap.Entries(), fn)
+}
+
+// exportEntries drains a merged snapshot iterator into fn.
+func exportEntries(it *run.MergeIterator, fn func(addr Address, blk uint64, v Value) error) (int64, error) {
+	var n int64
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := fn(e.Key.Addr, e.Key.Blk, e.Value); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, it.Err()
 }
 
 // VerifyShardProv verifies a sharded provenance proof against the
@@ -320,3 +384,47 @@ func (s *ShardedStore) FlushAll() error { return s.store.FlushAll() }
 
 // Close joins background merges and releases file handles on every shard.
 func (s *ShardedStore) Close() error { return s.store.Close() }
+
+// ShardStat is one shard's balance snapshot: stored entries, on-disk
+// bytes, routed writes, and merge back-pressure events. A persistently
+// lopsided entry/byte spread is the cue that a Reshard is worth its
+// rewrite cost.
+type ShardStat = shard.ShardStat
+
+// ShardStats returns each shard's balance snapshot, in shard order.
+func (s *ShardedStore) ShardStats() []ShardStat { return s.store.ShardStats() }
+
+// ReshardOptions tunes an offline Reshard; the zero value uses the store
+// defaults. Structural parameters (size ratio, MHT fanout, merge mode)
+// are always inherited from the source store.
+type ReshardOptions = reshard.Options
+
+// ReshardReport summarizes a completed Reshard: entry and byte volume,
+// per-destination counts, imbalance, and wall-clock duration.
+type ReshardReport = reshard.Report
+
+// Reshard rewrites the store in dir from its current partition count to
+// `shards` partitions offline — no replay from genesis, no per-key
+// re-insertion. Every live key/version streams out of the source shards
+// in one sorted pass and the destination shards' bottom-level runs,
+// learned indexes, Merkle files, and Bloom filters are bulk-built
+// directly; the installation commits through a single atomic SHARDS
+// rename, so a reshard interrupted at any point leaves the original
+// store fully intact and readable.
+//
+// The store must be closed (Reshard needs exclusive ownership of the
+// directory) and cleanly flushed: all shards' durable checkpoints must
+// agree, which FlushAll before shutdown guarantees; a store that crashed
+// mid-operation must be opened and replayed first.
+//
+// Root epochs: the combined digest folds the per-shard roots, so it
+// necessarily changes with the partition count. Reshard starts a new
+// root epoch at the store's durable height — every Get/GetAt/GetBatch
+// answer and every provenance version list is byte-identical before and
+// after, and new proofs verify against the new epoch's digests, but
+// combined digests published before the reshard can no longer be
+// reproduced by the rewritten store (the per-shard root histories
+// restart empty).
+func Reshard(dir string, shards int, opts ReshardOptions) (*ReshardReport, error) {
+	return reshard.Reshard(dir, shards, opts)
+}

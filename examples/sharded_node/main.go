@@ -87,9 +87,9 @@ func main() {
 	// Crash: close without flushing. Unflushed per-shard memory is lost;
 	// the store recovers by replaying blocks above the lowest shard
 	// checkpoint (shards whose checkpoint is higher skip the blocks they
-	// already cover). Digests of replayed blocks below the highest shard
-	// checkpoint fold in skipped shards' newer roots; the final digest —
-	// once every shard has executed — matches the pre-crash one.
+	// already cover and contribute their persisted historical roots, so
+	// replayed digests reproduce the published headers). The final digest
+	// — once every shard has executed — matches the pre-crash one.
 	if err := store.Close(); err != nil {
 		log.Fatal(err)
 	}

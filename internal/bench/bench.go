@@ -152,7 +152,18 @@ type Result struct {
 	MixedReadTPS  float64 `json:",omitempty"`
 	MixedWriteTPS float64 `json:",omitempty"`
 	BloomSkips    int64   `json:",omitempty"`
-	blockLats     []time.Duration
+	// Reshard measurements (the reshard experiment): the source and
+	// target shard counts, the offline rewrite's wall time and logical
+	// bandwidth, and write TPS on the identical block pipeline before and
+	// after the rewrite (Imbalance then reports the destination entry
+	// spread).
+	ReshardFrom    int     `json:",omitempty"`
+	ReshardTo      int     `json:",omitempty"`
+	ReshardSeconds float64 `json:",omitempty"`
+	ReshardMBps    float64 `json:",omitempty"`
+	TPSBefore      float64 `json:",omitempty"`
+	TPSAfter       float64 `json:",omitempty"`
+	blockLats      []time.Duration
 }
 
 // backendHandle couples a backend with its measurement hooks.

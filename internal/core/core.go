@@ -41,10 +41,12 @@
 package core
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -96,6 +98,12 @@ type Options struct {
 	// covers every level of every shard; jobs beyond it queue, and the
 	// resulting back-pressure surfaces as Stats.MergeWaits.
 	MergeWorkers int
+	// RootHistory is how many recent (height → Hstate) pairs the engine
+	// retains and persists in its manifest. The shard layer reads them
+	// back during post-crash replay so a shard whose checkpoint already
+	// covers a replayed block can contribute its exact historical root to
+	// the combined digest instead of its current one. Default 512.
+	RootHistory int
 }
 
 func (o Options) withDefaults() Options {
@@ -119,6 +127,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MBTreeFanout == 0 {
 		o.MBTreeFanout = mbtree.DefaultFanout
+	}
+	if o.RootHistory == 0 {
+		o.RootHistory = 512
 	}
 	return o
 }
@@ -214,6 +225,12 @@ type Engine struct {
 	// are marked retired (and their files reclaimed by the last view
 	// holding them) only after the manifest no longer references them.
 	retiring []*runRef
+
+	// rootHistory is the ring of the most recent (height → Hstate) pairs,
+	// oldest first, capped at opts.RootHistory. Persisted with the
+	// manifest so replay can reproduce the exact combined digests of
+	// blocks this engine's checkpoint already covers (see HistoricalRoot).
+	rootHistory []RootRecord
 
 	// viewPtr is the currently-published read view. Readers pin it with
 	// acquireView and never touch mu; Commit/FlushAll swap in a fresh
@@ -320,6 +337,39 @@ type manifest struct {
 	SizeRatio  int          `json:"size_ratio"`
 	Fanout     int          `json:"fanout"`
 	Levels     []levelState `json:"levels"`
+	// Roots is the persisted tail of the engine's root history (oldest
+	// first): the Hstate digests of recent commits, used during replay to
+	// reconstruct historical combined digests for shards that skip
+	// already-covered blocks.
+	Roots []RootRecord `json:"roots,omitempty"`
+}
+
+// RootRecord is one retained (height → Hstate) pair of the root history.
+type RootRecord struct {
+	Height uint64 `json:"h"`
+	// Root is the hex-encoded Hstate digest of the commit at Height.
+	Root hexHash `json:"r"`
+}
+
+// hexHash JSON-encodes a digest as a hex string (the manifest would
+// otherwise serialize [32]byte as an integer array).
+type hexHash types.Hash
+
+func (h hexHash) MarshalJSON() ([]byte, error) {
+	return json.Marshal(types.Hash(h).String())
+}
+
+func (h *hexHash) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != types.HashSize {
+		return fmt.Errorf("core: bad root digest %q", s)
+	}
+	copy(h[:], raw)
+	return nil
 }
 
 type levelState struct {
@@ -360,6 +410,10 @@ func (e *Engine) loadManifest() error {
 	e.lastCascade = m.Replay
 	e.nextRunID = m.NextRunID
 	e.memWriting = m.MemWriting
+	// The persisted history may extend above Replay (async manifests are
+	// written at cascade heights beyond the checkpoint); replayed blocks
+	// re-record identical digests over those entries, so keep them all.
+	e.rootHistory = m.Roots
 	for li, ls := range m.Levels {
 		lv := &level{writing: ls.Writing}
 		for g := 0; g < 2; g++ {
@@ -385,6 +439,7 @@ func (e *Engine) writeManifest() error {
 		Async:      e.opts.AsyncMerge,
 		SizeRatio:  e.opts.SizeRatio,
 		Fanout:     e.opts.Fanout,
+		Roots:      e.rootHistory,
 	}
 	for _, lv := range e.levels {
 		ls := levelState{Writing: lv.writing}
@@ -464,6 +519,41 @@ func (e *Engine) CheckpointHeight() uint64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.checkpoint
+}
+
+// recordRootLocked appends the committed (height, root) pair to the root
+// history. Replay re-commits heights already recorded: entries at or
+// above the new height are dropped first, so the history stays strictly
+// increasing and the replayed digests (which are deterministic) land in
+// the same slots. The ring is trimmed to opts.RootHistory.
+func (e *Engine) recordRootLocked(height uint64, root types.Hash) {
+	h := e.rootHistory
+	for len(h) > 0 && h[len(h)-1].Height >= height {
+		h = h[:len(h)-1]
+	}
+	h = append(h, RootRecord{Height: height, Root: hexHash(root)})
+	if excess := len(h) - e.opts.RootHistory; excess > 0 {
+		h = append(h[:0], h[excess:]...)
+	}
+	e.rootHistory = h
+}
+
+// HistoricalRoot returns the Hstate digest the engine committed at the
+// given block height, if the height is still inside the retained root
+// history (Options.RootHistory commits deep, persisted with the
+// manifest). The shard layer uses it during post-crash replay: a shard
+// whose checkpoint already covers a replayed block contributes this
+// exact historical root to the combined digest, so replayed headers
+// match the originally published ones.
+func (e *Engine) HistoricalRoot(height uint64) (types.Hash, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h := e.rootHistory
+	i := sort.Search(len(h), func(i int) bool { return h[i].Height >= height })
+	if i < len(h) && h[i].Height == height {
+		return types.Hash(h[i].Root), true
+	}
+	return types.Hash{}, false
 }
 
 // Stats returns a snapshot of the engine counters. Read counters are

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cole/internal/run"
+	"cole/internal/types"
+)
+
+// This file is the engine's offline install surface: reading the durable
+// structural state of an engine directory without opening an Engine (no
+// orphan sweep, no background-merge restart, no file mutation at all),
+// and bulk-building a fresh engine directory from a sorted entry stream.
+// Both are the primitives behind internal/reshard, which rewrites a live
+// store to a different shard count by streaming every source shard and
+// installing the destination shards directly.
+
+// StoreState is the durable structural state of an engine directory as
+// recorded by its manifest.
+type StoreState struct {
+	// Exists reports whether the directory holds a manifest at all; a
+	// fresh or never-cascaded engine has none, and every other field is
+	// zero.
+	Exists bool
+	// Height is the block height of the cascade that wrote the manifest.
+	Height uint64
+	// Replay is the recovery point — and therefore the exact horizon of
+	// the durable data: every committed run holds only entries with block
+	// heights ≤ Replay, and blocks above it must be re-executed after
+	// reopening. An offline rewrite of the directory preserves precisely
+	// the state a reopen would serve by copying data at this horizon.
+	Replay uint64
+	// Async, SizeRatio, and Fanout are the creation parameters pinned by
+	// the manifest; a reopen must match them.
+	Async     bool
+	SizeRatio int
+	Fanout    int
+	// RunIDs lists every committed run (all levels, both groups).
+	RunIDs []uint64
+	// NextRunID is the engine's run-id allocator watermark.
+	NextRunID uint64
+}
+
+// ReadStoreState loads an engine directory's manifest without opening the
+// engine. A directory with no manifest (a fresh or never-cascaded engine)
+// yields a zero state with no runs, which is a valid empty source.
+func ReadStoreState(dir string) (*StoreState, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if os.IsNotExist(err) {
+		return &StoreState{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("core: corrupt manifest in %s: %w", dir, err)
+	}
+	st := &StoreState{
+		Exists:    true,
+		Height:    m.Height,
+		Replay:    m.Replay,
+		Async:     m.Async,
+		SizeRatio: m.SizeRatio,
+		Fanout:    m.Fanout,
+		NextRunID: m.NextRunID,
+	}
+	for _, ls := range m.Levels {
+		for g := 0; g < 2; g++ {
+			st.RunIDs = append(st.RunIDs, ls.Groups[g]...)
+		}
+	}
+	return st, nil
+}
+
+// bulkLevel places a bulk-built run of `count` entries at the on-disk
+// level whose natural run size covers it: L1 runs hold one flushed L0
+// group (B entries) and each deeper level multiplies by the size ratio T,
+// so the returned index i (0 = L1) is the smallest with B·T^i ≥ count.
+// An undersized run at a deep level only affects level occupancy, never
+// correctness (same argument as FlushAll's small final runs).
+func bulkLevel(count int64, memCap, ratio int) int {
+	c := int64(memCap)
+	idx := 0
+	for c < count {
+		c *= int64(ratio)
+		idx++
+	}
+	return idx
+}
+
+// InstallBulk builds a complete engine directory from a sorted entry
+// stream: one bottom-level run (value + learned-index + Merkle + Bloom
+// files, exactly as a level merge would write them) and a manifest
+// recording it at height `height` with an empty replay window
+// (Replay = Height — the installed state is fully durable). count must
+// equal the number of entries src yields; a zero count installs a valid
+// empty engine. The directory must not already hold an engine.
+//
+// The install starts a fresh root-history epoch: the manifest carries no
+// historical roots, because digests recorded under a different partition
+// count do not combine into the new store's headers.
+func InstallBulk(opts Options, height uint64, count int64, src run.Iterator) error {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return err
+	}
+	if count < 0 {
+		return fmt.Errorf("core: negative entry count %d", count)
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return err
+	}
+	if _, err := os.Stat(filepath.Join(opts.Dir, "MANIFEST")); err == nil {
+		return fmt.Errorf("core: %s already holds an engine", opts.Dir)
+	}
+	m := manifest{
+		Height:     height,
+		Replay:     height,
+		NextRunID:  0,
+		MemWriting: 0,
+		Async:      opts.AsyncMerge,
+		SizeRatio:  opts.SizeRatio,
+		Fanout:     opts.Fanout,
+	}
+	if count > 0 {
+		r, err := run.Build(opts.Dir, 0, count, opts.runParams(), src)
+		if err != nil {
+			// A source iterator that died mid-stream surfaces as a count
+			// mismatch inside Build; report the underlying I/O error.
+			if ei, ok := src.(run.ErrIterator); ok && ei.Err() != nil {
+				return fmt.Errorf("core: bulk run build: %w", ei.Err())
+			}
+			return fmt.Errorf("core: bulk run build: %w", err)
+		}
+		if err := r.Close(); err != nil {
+			return err
+		}
+		m.NextRunID = 1
+		li := bulkLevel(count, opts.MemCapacity, opts.SizeRatio)
+		for i := 0; i <= li; i++ {
+			ls := levelState{Groups: [2][]uint64{{}, {}}}
+			if i == li {
+				ls.Groups[0] = []uint64{0}
+			}
+			m.Levels = append(m.Levels, ls)
+		}
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(opts.Dir, "MANIFEST")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Entries streams every live entry of the pinned view — the frozen L0
+// snapshots plus every committed run — in globally sorted compound-key
+// order, k-way merged. The iterator is valid until the snapshot is
+// Released (the pin keeps retired run files alive while the export is in
+// flight), so a consistent full export can run concurrently with commits
+// and merges. Check Err after exhaustion for run-file read failures.
+func (s *Snapshot) Entries() *run.MergeIterator {
+	var its []run.Iterator
+	for _, m := range s.v.mems {
+		entries := make([]types.Entry, 0, m.tree.Size())
+		_ = m.tree.ForEach(func(e types.Entry) error {
+			entries = append(entries, e)
+			return nil
+		})
+		its = append(its, run.NewSliceIterator(entries))
+	}
+	for _, rr := range s.v.runs {
+		its = append(its, rr.r.Iter())
+	}
+	return run.Merge(its...)
+}
+
+// EntryCount returns the number of entries Entries will yield: the sum
+// of the pinned L0 snapshot sizes and the committed run counts.
+func (s *Snapshot) EntryCount() int64 {
+	var n int64
+	for _, m := range s.v.mems {
+		n += int64(m.tree.Size())
+	}
+	for _, rr := range s.v.runs {
+		n += rr.r.Count()
+	}
+	return n
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 
 	"cole/internal/run"
@@ -113,7 +112,9 @@ func (e *Engine) Commit() (types.Hash, error) {
 	e.committed = e.height
 
 	var err error
+	cascaded := false
 	if e.mem[e.memWriting].tree.Size() >= e.opts.MemCapacity {
+		cascaded = true
 		if e.opts.AsyncMerge {
 			err = e.cascadeAsync()
 			// Blocks since the previous cascade live in the merging
@@ -128,11 +129,18 @@ func (e *Engine) Commit() (types.Hash, error) {
 		if err != nil {
 			return types.Hash{}, err
 		}
+	}
+	// The digest is computed (and recorded in the root history) before the
+	// manifest write so that a cascade checkpoint persists its own height's
+	// root: every height at or below the durable checkpoint has its digest
+	// in the durable history.
+	root := e.rootDigestLocked()
+	e.recordRootLocked(e.committed, root)
+	if cascaded {
 		if err := e.writeManifest(); err != nil {
 			return types.Hash{}, err
 		}
 	}
-	root := e.rootDigestLocked()
 	// Publish after the digest warmed every L0 hash (the frozen snapshots
 	// must be clean for concurrent readers) and after the manifest write,
 	// then retire the runs the cascade removed: the fresh view excludes
@@ -334,7 +342,7 @@ func (e *Engine) startLevelMerge(levelIdx int, runs []*run.Run) *mergeState {
 	ms := &mergeState{done: make(chan struct{})}
 	e.sched.Submit(func() {
 		defer close(ms.done)
-		it := newKWayIterator(runs)
+		it := run.MergeRuns(runs)
 		r, err := run.Build(e.opts.Dir, id, count, e.opts.runParams(), it)
 		if err != nil {
 			ms.err = err
@@ -361,7 +369,7 @@ func (e *Engine) buildMergedRun(runs []*run.Run) (*run.Run, error) {
 	var merged *run.Run
 	var err error
 	e.sched.Run(func() {
-		it := newKWayIterator(runs)
+		it := run.MergeRuns(runs)
 		merged, err = run.Build(e.opts.Dir, id, count, e.opts.runParams(), it)
 		if err == nil {
 			err = it.Err()
@@ -439,68 +447,3 @@ func (e *Engine) FlushAll() error {
 	e.retireLocked()
 	return nil
 }
-
-// kwayIterator merges sorted run iterators; keys are globally unique
-// (every ⟨addr, blk⟩ is written in exactly one block), so no dedup is
-// needed — a duplicate would indicate corruption and fails the merge via
-// the PLA builder's strict-monotonicity check downstream.
-type kwayIterator struct {
-	h   mergeHeap
-	err error
-}
-
-type mergeCursor struct {
-	it  *run.RunIterator
-	cur types.Entry
-}
-
-type mergeHeap []*mergeCursor
-
-func (h mergeHeap) Len() int            { return len(h) }
-func (h mergeHeap) Less(i, j int) bool  { return h[i].cur.Key.Less(h[j].cur.Key) }
-func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*mergeCursor)) }
-func (h *mergeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-func newKWayIterator(runs []*run.Run) *kwayIterator {
-	k := &kwayIterator{}
-	for _, r := range runs {
-		it := r.Iter()
-		if e, ok := it.Next(); ok {
-			k.h = append(k.h, &mergeCursor{it: it, cur: e})
-		} else if err := it.Err(); err != nil {
-			k.err = err
-		}
-	}
-	heap.Init(&k.h)
-	return k
-}
-
-// Next implements run.Iterator.
-func (k *kwayIterator) Next() (types.Entry, bool) {
-	if k.err != nil || k.h.Len() == 0 {
-		return types.Entry{}, false
-	}
-	top := k.h[0]
-	out := top.cur
-	if e, ok := top.it.Next(); ok {
-		top.cur = e
-		heap.Fix(&k.h, 0)
-	} else {
-		if err := top.it.Err(); err != nil {
-			k.err = err
-			return types.Entry{}, false
-		}
-		heap.Pop(&k.h)
-	}
-	return out, true
-}
-
-// Err reports a read failure from any source run.
-func (k *kwayIterator) Err() error { return k.err }

@@ -1,0 +1,582 @@
+// Package reshard rewrites an existing COLE store from N shards to M
+// shards offline, without replaying the chain from genesis.
+//
+// COLE's column-based design makes repartitioning cheap: all durable
+// state lives in sorted immutable runs, so changing the shard count is a
+// partitioned sort-merge, not a transaction replay. The rewrite streams
+// every live key/version of every source shard in compound-key order
+// (k-way merge over each shard's committed run list), routes each entry
+// to its destination partition by the shard hash, and bulk-builds each
+// destination shard's bottom-level run — value file, learned index,
+// Merkle file, and Bloom filter — in one pass per destination, with no
+// per-key Put descent.
+//
+// # Crash safety
+//
+// The destination shards are built inside a fresh reshard-generation
+// subdirectory (r000001/shard-NN, …) that never collides with the live
+// layout, and the single commit point is the atomic rename that rewrites
+// the SHARDS file to pin the new shard count and generation. A reshard
+// interrupted anywhere before that rename leaves the original store
+// byte-for-byte untouched (the half-built generation directory is swept
+// by the next open or reshard); interrupted after it, the new store is
+// fully live and only garbage cleanup remains.
+//
+// # Root epochs
+//
+// The combined state digest folds the per-shard roots, so it necessarily
+// changes when the partition count does: a reshard starts a new root
+// epoch at the store's durable height. Every Get/GetAt/GetBatch answer
+// and every provenance version list is byte-identical before and after,
+// and proofs verify against the new epoch's digests, but historical
+// combined digests from the old epoch can no longer be reproduced (the
+// per-shard root histories restart empty).
+package reshard
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"cole/internal/core"
+	"cole/internal/run"
+	"cole/internal/shard"
+	"cole/internal/types"
+)
+
+// Install steps, in execution order, as reported to Options.FailPoint.
+const (
+	// StepSpool partitions the source streams into per-destination spool
+	// files (nothing outside the build directory is touched yet).
+	StepSpool = "spool"
+	// StepBuild bulk-builds the destination shard directories from the
+	// spools (still entirely inside the build directory).
+	StepBuild = "build"
+	// StepCommit atomically rewrites the SHARDS file — the point of no
+	// return. Failing before it leaves the original store untouched.
+	StepCommit = "commit"
+	// StepCleanup removes the superseded generation's engine files.
+	// Failing here leaves a fully functional new store plus garbage that
+	// the next open sweeps.
+	StepCleanup = "cleanup"
+)
+
+// Options tunes an offline reshard. The zero value is right for any
+// store: structural parameters (size ratio, MHT fanout, merge mode,
+// page size) are inherited from the source store's manifests and run
+// metadata and cannot be changed here.
+type Options struct {
+	// PageSize overrides the page size adopted from the source runs'
+	// metadata; leave 0 (a mismatch with the on-disk runs fails the
+	// open).
+	PageSize int
+	// OptimalPLA rebuilds the destination learned indexes with the exact
+	// convex-hull segment construction instead of the default greedy
+	// cone (the on-disk format is identical; this only trades build time
+	// for fewer models, like core.Options.OptimalPLA).
+	OptimalPLA bool
+	// MemCapacity is the source store's B, used only to pick the on-disk
+	// level the bulk-built runs are installed at (0 = 4096).
+	MemCapacity int
+	// BloomFP is the Bloom false-positive target for the rebuilt runs
+	// (0 = 0.01).
+	BloomFP float64
+	// CachePages bounds each rebuilt run's page cache during the build
+	// (0 = 16).
+	CachePages int
+	// Workers bounds how many source shards are streamed — and how many
+	// destination shards are built — concurrently (0 = GOMAXPROCS).
+	Workers int
+	// FailPoint, when set, is invoked before each install step with the
+	// step name; returning an error aborts the reshard at exactly that
+	// point with no cleanup, simulating a crash. Tests use it to verify
+	// torn reshards leave the store consistent. Nil in production.
+	FailPoint func(step string) error
+}
+
+// Report summarizes a completed reshard.
+type Report struct {
+	// FromShards and ToShards are the partition counts before and after.
+	FromShards, ToShards int
+	// Generation is the new layout's reshard generation.
+	Generation uint64
+	// Height is the durable block height the rewrite preserved (the
+	// store's replay checkpoint; also the new engines' height).
+	Height uint64
+	// Entries is the total number of live key/version entries rewritten.
+	Entries int64
+	// Bytes is the logical volume rewritten (Entries × entry size).
+	Bytes int64
+	// PerShard is each destination shard's entry count.
+	PerShard []int64
+	// Imbalance is max/mean over PerShard (1.0 = perfectly even).
+	Imbalance float64
+	// Elapsed is the wall-clock duration of the whole rewrite.
+	Elapsed time.Duration
+}
+
+// MBPerSec is the rewrite bandwidth implied by the report.
+func (r *Report) MBPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / (1 << 20) / r.Elapsed.Seconds()
+}
+
+func (o Options) fail(step string) error {
+	if o.FailPoint == nil {
+		return nil
+	}
+	if err := o.FailPoint(step); err != nil {
+		return fmt.Errorf("reshard: aborted at step %q: %w", step, err)
+	}
+	return nil
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Reshard rewrites the store in dir to the given shard count. The store
+// must be closed (the rewrite requires exclusive access to the
+// directory) and cleanly flushed: every shard's durable checkpoint must
+// sit at the same height, which a FlushAll before shutdown guarantees. A
+// store that crashed mid-operation must be opened and replayed first.
+//
+// The rewrite preserves the full version history: every compound key
+// ⟨addr, blk⟩ with its value is carried over, so Get, GetAt, GetBatch,
+// and ProvQuery answer identically before and after (proofs verify
+// against the new root epoch — see the package comment). Resharding to
+// the current count is allowed and acts as a full compaction into one
+// bottom-level run per shard.
+func Reshard(dir string, shards int, opts Options) (*Report, error) {
+	start := time.Now()
+	if shards < 1 || shards > shard.MaxShards {
+		return nil, fmt.Errorf("reshard: target count %d out of range [1,%d]", shards, shard.MaxShards)
+	}
+	// Take the store's advisory lock for the whole rewrite: a directory a
+	// live process still serves (or a concurrent reshard) fails here
+	// instead of silently committing over its writes.
+	unlock, err := shard.LockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+	n, gen, pinned, err := shard.PersistedLayout(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !pinned {
+		// A legacy unsharded store (engine at the root, no SHARDS file) is
+		// a valid 1-shard source; anything else is not a store.
+		if _, serr := os.Stat(filepath.Join(dir, "MANIFEST")); serr != nil {
+			if _, derr := os.Stat(filepath.Join(dir, "shard-00")); derr == nil {
+				return nil, fmt.Errorf("reshard: %s has shard subdirectories but no SHARDS file; reopen it with the original explicit shard count first", dir)
+			}
+			return nil, fmt.Errorf("reshard: %s does not hold a COLE store", dir)
+		}
+		n, gen = 1, 0
+	}
+
+	states := make([]*core.StoreState, n)
+	srcDirs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srcDirs[i] = shard.EngineDir(dir, gen, n, i)
+		if states[i], err = core.ReadStoreState(srcDirs[i]); err != nil {
+			return nil, fmt.Errorf("reshard: source shard %d: %w", i, err)
+		}
+	}
+	// Structural parameters come from the first shard that has durable
+	// state; all others must agree, and every shard must share one replay
+	// horizon — the exact height the rewritten store serves. A shard with
+	// no manifest has horizon 0, so a store that was not cleanly flushed
+	// (or crashed with uneven checkpoints) is refused rather than
+	// silently losing its replay window.
+	ref := -1
+	for i, st := range states {
+		if st.Exists {
+			ref = i
+			break
+		}
+	}
+	if ref < 0 {
+		return nil, fmt.Errorf("reshard: %s has no durable state; commit blocks and FlushAll before resharding", dir)
+	}
+	base := states[ref]
+	for i, st := range states {
+		if st.Exists && (st.Async != base.Async || st.SizeRatio != base.SizeRatio || st.Fanout != base.Fanout) {
+			return nil, fmt.Errorf("reshard: shard %d parameters (async=%v T=%d m=%d) disagree with shard %d (async=%v T=%d m=%d)",
+				i, st.Async, st.SizeRatio, st.Fanout, ref, base.Async, base.SizeRatio, base.Fanout)
+		}
+		if st.Replay != base.Replay {
+			return nil, fmt.Errorf("reshard: shard %d durable checkpoint %d != shard %d checkpoint %d; open the store, replay, and FlushAll before resharding",
+				i, st.Replay, ref, base.Replay)
+		}
+	}
+	height := base.Replay
+
+	newGen := gen + 1
+	buildDir := shard.GenDir(dir, newGen)
+	// A previous torn attempt may have stranded a half-built generation
+	// at the same path; it is garbage by construction (SHARDS never
+	// pointed at it).
+	if err := os.RemoveAll(buildDir); err != nil {
+		return nil, err
+	}
+
+	// Adopt the store's real page geometry from the first run's metadata
+	// (the engine options are not persisted, and requiring the operator
+	// to recall them would make non-default stores unreshardable from
+	// the CLI).
+	if opts.PageSize == 0 {
+	adopt:
+		for i, st := range states {
+			for _, id := range st.RunIDs {
+				ps, err := run.PageSizeOf(srcDirs[i], id)
+				if err != nil {
+					return nil, fmt.Errorf("reshard: read run %d of source shard %d: %w", id, i, err)
+				}
+				opts.PageSize = ps
+				break adopt
+			}
+		}
+	}
+
+	// Open every committed source run directly from the manifests — the
+	// engines are never opened, so the source directories are not
+	// mutated (no orphan sweep, no restarted background merges).
+	params := run.Params{PageSize: opts.PageSize, Fanout: base.Fanout, BloomFP: opts.BloomFP, CachePages: opts.CachePages}
+	srcRuns := make([][]*run.Run, n)
+	defer func() {
+		for _, runs := range srcRuns {
+			for _, r := range runs {
+				r.Close()
+			}
+		}
+	}()
+	var entries int64
+	for i, st := range states {
+		for _, id := range st.RunIDs {
+			r, err := run.Open(srcDirs[i], id, params)
+			if err != nil {
+				return nil, fmt.Errorf("reshard: open run %d of source shard %d: %w", id, i, err)
+			}
+			srcRuns[i] = append(srcRuns[i], r)
+			entries += r.Count()
+		}
+	}
+
+	// Phase 1 — spool: each source shard's sorted stream is demultiplexed
+	// into one spool file per destination. Each spool inherits the source
+	// order, so it is itself sorted, and phase 2 only needs a k-way merge
+	// of N small sorted files per destination. One sequential read of the
+	// source, one sequential write of the spools — no M-fold re-reading
+	// and no cross-merge deadlocks.
+	if err := opts.fail(StepSpool); err != nil {
+		return nil, err
+	}
+	spoolDir := filepath.Join(buildDir, "spool")
+	if err := os.MkdirAll(spoolDir, 0o755); err != nil {
+		return nil, err
+	}
+	counts := make([][]int64, n)
+	for i := range counts {
+		counts[i] = make([]int64, shards)
+	}
+	err = forEachPar(opts.workers(), n, func(i int) error {
+		if len(srcRuns[i]) == 0 {
+			return nil
+		}
+		writers := make([]*spoolWriter, shards)
+		defer func() {
+			for _, w := range writers {
+				if w != nil {
+					w.abort()
+				}
+			}
+		}()
+		it := run.MergeRuns(srcRuns[i])
+		for {
+			e, ok := it.Next()
+			if !ok {
+				break
+			}
+			j := shard.ShardOf(e.Key.Addr, shards)
+			if writers[j] == nil {
+				w, err := newSpoolWriter(spoolPath(spoolDir, i, j))
+				if err != nil {
+					return err
+				}
+				writers[j] = w
+			}
+			if err := writers[j].add(e); err != nil {
+				return err
+			}
+			counts[i][j]++
+		}
+		if err := it.Err(); err != nil {
+			return fmt.Errorf("source shard %d: %w", i, err)
+		}
+		for j, w := range writers {
+			if w == nil {
+				continue
+			}
+			if err := w.finish(); err != nil {
+				return err
+			}
+			writers[j] = nil
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("reshard: spool: %w", err)
+	}
+
+	// Phase 2 — build: per destination, merge its spools and install a
+	// complete engine directory (bottom-level run + manifest) in one
+	// streaming pass.
+	if err := opts.fail(StepBuild); err != nil {
+		return nil, err
+	}
+	perShard := make([]int64, shards)
+	for j := 0; j < shards; j++ {
+		for i := 0; i < n; i++ {
+			perShard[j] += counts[i][j]
+		}
+	}
+	destOpts := core.Options{
+		MemCapacity: opts.MemCapacity,
+		SizeRatio:   base.SizeRatio,
+		Fanout:      base.Fanout,
+		PageSize:    opts.PageSize,
+		BloomFP:     opts.BloomFP,
+		CachePages:  opts.CachePages,
+		AsyncMerge:  base.Async,
+		OptimalPLA:  opts.OptimalPLA,
+	}
+	err = forEachPar(opts.workers(), shards, func(j int) error {
+		var sources []run.Iterator
+		var files []*spoolIterator
+		defer func() {
+			for _, f := range files {
+				f.close()
+			}
+		}()
+		for i := 0; i < n; i++ {
+			if counts[i][j] == 0 {
+				continue
+			}
+			it, err := openSpool(spoolPath(spoolDir, i, j))
+			if err != nil {
+				return err
+			}
+			files = append(files, it)
+			sources = append(sources, it)
+		}
+		o := destOpts
+		o.Dir = shard.EngineDir(dir, newGen, shards, j)
+		return core.InstallBulk(o, height, perShard[j], run.Merge(sources...))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("reshard: build: %w", err)
+	}
+	if err := os.RemoveAll(spoolDir); err != nil {
+		return nil, err
+	}
+	// Durability barrier: the engine's normal unsynced-manifest window is
+	// recoverable by chain replay, but the commit below is followed by
+	// deleting the source engines — so the whole new generation must be
+	// on stable storage first, and the SHARDS rename after it, before
+	// anything is removed.
+	if err := syncTree(buildDir); err != nil {
+		return nil, fmt.Errorf("reshard: sync new generation: %w", err)
+	}
+
+	// Commit: one atomic (and fsynced) rename flips the live layout.
+	if err := opts.fail(StepCommit); err != nil {
+		return nil, err
+	}
+	if err := shard.InstallManifest(dir, shards, newGen); err != nil {
+		return nil, fmt.Errorf("reshard: commit: %w", err)
+	}
+
+	// Cleanup: the superseded generation is garbage now. Best-effort —
+	// the SHARDS file already names the live layout, and the next open
+	// sweeps whatever remains.
+	if err := opts.fail(StepCleanup); err != nil {
+		return nil, err
+	}
+	shard.RemoveGeneration(dir, gen, n)
+
+	return &Report{
+		FromShards: n,
+		ToShards:   shards,
+		Generation: newGen,
+		Height:     height,
+		Entries:    entries,
+		Bytes:      entries * types.EntrySize,
+		PerShard:   perShard,
+		Imbalance:  imbalance(perShard),
+		Elapsed:    time.Since(start),
+	}, nil
+}
+
+// syncTree fsyncs every file and directory under root, deepest first —
+// the write barrier between building a generation and deleting the one
+// it replaces.
+func syncTree(root string) error {
+	return filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		serr := f.Sync()
+		f.Close()
+		return serr
+	})
+}
+
+func imbalance(counts []int64) float64 {
+	var total, max int64
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(counts)) / float64(total)
+}
+
+// forEachPar runs fn for every index with bounded parallelism and
+// returns the first error (all indexes are attempted).
+func forEachPar(workers, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	sem := make(chan struct{}, workers)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- spool files ----
+//
+// A spool is a flat sequence of encoded entries (types.EntrySize bytes
+// each) in sorted key order: the slice of one source shard's stream that
+// routes to one destination shard.
+
+func spoolPath(spoolDir string, src, dst int) string {
+	return filepath.Join(spoolDir, fmt.Sprintf("s%03d-d%03d.ent", src, dst))
+}
+
+type spoolWriter struct {
+	f   *os.File
+	w   *bufio.Writer
+	buf [types.EntrySize]byte
+}
+
+func newSpoolWriter(path string) (*spoolWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &spoolWriter{f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+func (s *spoolWriter) add(e types.Entry) error {
+	types.EncodeEntry(s.buf[:], e)
+	_, err := s.w.Write(s.buf[:])
+	return err
+}
+
+func (s *spoolWriter) finish() error {
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+func (s *spoolWriter) abort() { s.f.Close() }
+
+// spoolIterator streams a spool back; it implements run.ErrIterator so
+// read failures propagate through the destination merge.
+type spoolIterator struct {
+	f   *os.File
+	r   *bufio.Reader
+	buf [types.EntrySize]byte
+	err error
+}
+
+func openSpool(path string) (*spoolIterator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &spoolIterator{f: f, r: bufio.NewReaderSize(f, 1<<16)}, nil
+}
+
+// Next implements run.Iterator.
+func (s *spoolIterator) Next() (types.Entry, bool) {
+	if s.err != nil {
+		return types.Entry{}, false
+	}
+	if _, err := io.ReadFull(s.r, s.buf[:]); err != nil {
+		if err != io.EOF {
+			s.err = err
+		}
+		return types.Entry{}, false
+	}
+	e, err := types.DecodeEntry(s.buf[:])
+	if err != nil {
+		s.err = err
+		return types.Entry{}, false
+	}
+	return e, true
+}
+
+// Err implements run.ErrIterator.
+func (s *spoolIterator) Err() error { return s.err }
+
+func (s *spoolIterator) close() { s.f.Close() }

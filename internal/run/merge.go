@@ -1,0 +1,99 @@
+package run
+
+import "container/heap"
+
+import "cole/internal/types"
+
+// ErrIterator is an Iterator that can terminate early on a read failure;
+// RunIterator and the reshard spool readers implement it. Merge checks
+// for it on every exhausted source so disk errors surface instead of
+// silently truncating the merged stream.
+type ErrIterator interface {
+	Iterator
+	Err() error
+}
+
+// MergeIterator k-way merges sorted entry iterators into one sorted
+// stream. Keys must be globally unique across the sources (every
+// ⟨addr, blk⟩ compound key is written in exactly one block of exactly one
+// shard), so no deduplication is performed — a duplicate indicates
+// corruption and fails downstream via the PLA builder's
+// strict-monotonicity check. This is the machinery behind level
+// sort-merges, snapshot exports, and offline resharding.
+type MergeIterator struct {
+	h   mergeHeap
+	err error
+}
+
+type mergeCursor struct {
+	it  Iterator
+	cur types.Entry
+}
+
+type mergeHeap []*mergeCursor
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].cur.Key.Less(h[j].cur.Key) }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*mergeCursor)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Merge returns an iterator over the union of the sorted sources.
+func Merge(sources ...Iterator) *MergeIterator {
+	m := &MergeIterator{}
+	for _, src := range sources {
+		if e, ok := src.Next(); ok {
+			m.h = append(m.h, &mergeCursor{it: src, cur: e})
+		} else if err := sourceErr(src); err != nil {
+			m.err = err
+		}
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+// MergeRuns merges the entry streams of whole runs (the level sort-merge
+// and reshard source shapes).
+func MergeRuns(runs []*Run) *MergeIterator {
+	its := make([]Iterator, len(runs))
+	for i, r := range runs {
+		its[i] = r.Iter()
+	}
+	return Merge(its...)
+}
+
+func sourceErr(it Iterator) error {
+	if ei, ok := it.(ErrIterator); ok {
+		return ei.Err()
+	}
+	return nil
+}
+
+// Next implements Iterator.
+func (m *MergeIterator) Next() (types.Entry, bool) {
+	if m.err != nil || m.h.Len() == 0 {
+		return types.Entry{}, false
+	}
+	top := m.h[0]
+	out := top.cur
+	if e, ok := top.it.Next(); ok {
+		top.cur = e
+		heap.Fix(&m.h, 0)
+	} else {
+		if err := sourceErr(top.it); err != nil {
+			m.err = err
+			return types.Entry{}, false
+		}
+		heap.Pop(&m.h)
+	}
+	return out, true
+}
+
+// Err reports a read failure from any source.
+func (m *MergeIterator) Err() error { return m.err }

@@ -306,6 +306,17 @@ func Build(dir string, id uint64, count int64, params Params, src Iterator) (*Ru
 	return Open(dir, id, params)
 }
 
+// PageSizeOf reads the page size a run was built with from its metadata,
+// so offline tools (reshard) can adopt the store's real geometry instead
+// of requiring the operator to recall its creation options.
+func PageSizeOf(dir string, id uint64) (int, error) {
+	m, err := readMeta(metaPath(dir, id))
+	if err != nil {
+		return 0, err
+	}
+	return m.PageSz, nil
+}
+
 // Open maps an existing run.
 func Open(dir string, id uint64, params Params) (*Run, error) {
 	params = params.withDefaults()

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package shard
+
+// LockDir is advisory and flock-based; on platforms without flock the
+// store runs unlocked (the documented exclusive-ownership contract is
+// then the operator's responsibility alone).
+func LockDir(dir string) (release func(), err error) {
+	return func() {}, nil
+}

@@ -25,13 +25,16 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"regexp"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"cole/internal/core"
 	"cole/internal/merge"
 	"cole/internal/mht"
+	"cole/internal/run"
 	"cole/internal/types"
 )
 
@@ -80,10 +83,15 @@ func CombineRoots(roots []types.Hash) types.Hash {
 type Store struct {
 	opts core.Options
 	n    int
+	gen  uint64 // reshard generation the open layout was pinned at
 	// sched is the single merge pool every shard's background flush and
 	// merge jobs run on, so the aggregate merge concurrency is bounded by
 	// Options.MergeWorkers regardless of the shard count.
 	sched *merge.Scheduler
+
+	// unlock releases the directory's advisory flock (held from Open to
+	// Close so concurrent opens and offline reshards fail loudly).
+	unlock func()
 
 	// mu serializes block lifecycle against reads: BeginBlock, Commit,
 	// FlushAll and Close take the write lock; Put and queries take the
@@ -101,12 +109,47 @@ type Store struct {
 	active []bool
 }
 
-// shardManifest pins the partition count of a store directory.
+// shardManifest pins the partition layout of a store directory: the
+// shard count and the reshard generation. Generation 0 is the layout a
+// store is created with (engines at the directory root or in shard-NN
+// subdirectories); every offline reshard installs its rebuilt engines
+// under a fresh generation subdirectory and bumps Gen by atomically
+// rewriting this file — the rename is the reshard's single commit point.
 type shardManifest struct {
-	Shards int `json:"shards"`
+	Shards int    `json:"shards"`
+	Gen    uint64 `json:"gen,omitempty"`
 }
 
 const manifestName = "SHARDS"
+
+// lockName is the advisory lock file LockDir flocks (see lock_unix.go).
+const lockName = "LOCK"
+
+// genDirName is the directory one reshard generation's engines live in.
+func genDirName(gen uint64) string { return fmt.Sprintf("r%06d", gen) }
+
+var genDirPattern = regexp.MustCompile(`^r[0-9]{6}$`)
+
+// EngineDir returns the directory of shard i in a store of n shards at
+// the given reshard generation. Generation 0 keeps the original layout
+// (a single engine lives directly in dir, multiple shards in
+// dir/shard-NN); resharded generations always nest under the generation
+// directory, even with one shard, so a reshard never collides with live
+// paths and commits by rewriting the SHARDS file alone.
+func EngineDir(dir string, gen uint64, n, i int) string {
+	if gen == 0 {
+		if n == 1 {
+			return dir
+		}
+		return filepath.Join(dir, fmt.Sprintf("shard-%02d", i))
+	}
+	return filepath.Join(dir, genDirName(gen), fmt.Sprintf("shard-%02d", i))
+}
+
+// GenDir returns the root of a reshard generation's build tree (the
+// directory EngineDir nests under for gen > 0); internal/reshard builds
+// the next generation inside it before committing the SHARDS file.
+func GenDir(dir string, gen uint64) string { return filepath.Join(dir, genDirName(gen)) }
 
 // Open creates or reopens a sharded store in opts.Dir. opts.Shards selects
 // the partition count: 0 adopts the count persisted in the directory's
@@ -124,7 +167,17 @@ func Open(opts core.Options) (*Store, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	persisted, pinned, err := PersistedCount(opts.Dir)
+	unlock, err := LockDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			unlock()
+		}
+	}()
+	persisted, gen, pinned, err := PersistedLayout(opts.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -153,16 +206,20 @@ func Open(opts core.Options) (*Store, error) {
 			return nil, err
 		}
 	}
-	s := &Store{opts: opts, n: n, sched: merge.New(opts.MergeWorkers), active: make([]bool, n)}
+	if pinned {
+		// The SHARDS file authoritatively names the live generation, so
+		// leftovers of interrupted or committed reshards (stale generation
+		// directories, superseded generation-0 engines) are swept here.
+		sweepStaleGenerations(opts.Dir, gen)
+	}
+	s := &Store{opts: opts, n: n, gen: gen, sched: merge.New(opts.MergeWorkers), active: make([]bool, n)}
 	for i := 0; i < n; i++ {
 		s.allIdx = append(s.allIdx, i)
 	}
 	for i := 0; i < n; i++ {
 		eo := opts
 		eo.Shards = 1
-		if n > 1 {
-			eo.Dir = filepath.Join(opts.Dir, fmt.Sprintf("shard-%02d", i))
-		}
+		eo.Dir = EngineDir(opts.Dir, gen, n, i)
 		e, err := core.OpenWithScheduler(eo, s.sched)
 		if err != nil {
 			for _, prev := range s.engines {
@@ -178,6 +235,8 @@ func Open(opts core.Options) (*Store, error) {
 		}
 		return nil, err
 	}
+	s.unlock = unlock
+	ok = true
 	return s, nil
 }
 
@@ -191,17 +250,21 @@ func guardOrphanedShards(dir string) error {
 }
 
 // GuardSingleEngine returns an error when dir cannot be served by a bare
-// single engine: its SHARDS file pins multiple shards or is corrupt, or
-// it has shard subdirectories with no SHARDS file at all. Callers that
-// open an engine directly in dir (bypassing Open) use this to avoid
+// single engine: its SHARDS file pins multiple shards, a resharded
+// generation (whose engine no longer lives at the root), or is corrupt,
+// or it has shard subdirectories with no SHARDS file at all. Callers
+// that open an engine directly in dir (bypassing Open) use this to avoid
 // presenting an empty view of sharded data.
 func GuardSingleEngine(dir string) error {
-	n, ok, err := PersistedCount(dir)
+	n, gen, ok, err := PersistedLayout(dir)
 	if err != nil {
 		return err
 	}
 	if ok && n > 1 {
 		return fmt.Errorf("shard: %s holds a %d-shard store; open it as a sharded store", dir, n)
+	}
+	if ok && gen > 0 {
+		return fmt.Errorf("shard: %s holds a resharded store (generation %d); open it as a sharded store", dir, gen)
 	}
 	if !ok {
 		return guardOrphanedShards(dir)
@@ -213,21 +276,73 @@ func GuardSingleEngine(dir string) error {
 // ok is false when the directory is fresh or holds a legacy unsharded
 // store.
 func PersistedCount(dir string) (count int, ok bool, err error) {
+	count, _, ok, err = PersistedLayout(dir)
+	return count, ok, err
+}
+
+// PersistedLayout reports the shard count and reshard generation pinned
+// in dir's SHARDS file; ok is false when the directory is fresh or holds
+// a legacy unsharded store (no SHARDS file).
+func PersistedLayout(dir string) (count int, gen uint64, ok bool, err error) {
 	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if os.IsNotExist(err) {
-		return 0, false, nil
+		return 0, 0, false, nil
 	}
 	if err != nil {
-		return 0, false, err
+		return 0, 0, false, err
 	}
 	var m shardManifest
 	if err := json.Unmarshal(raw, &m); err != nil {
-		return 0, false, fmt.Errorf("shard: corrupt %s file: %w", manifestName, err)
+		return 0, 0, false, fmt.Errorf("shard: corrupt %s file: %w", manifestName, err)
 	}
 	if m.Shards < 1 || m.Shards > MaxShards {
-		return 0, false, fmt.Errorf("shard: %s file pins count %d out of range [1,%d]", manifestName, m.Shards, MaxShards)
+		return 0, 0, false, fmt.Errorf("shard: %s file pins count %d out of range [1,%d]", manifestName, m.Shards, MaxShards)
 	}
-	return m.Shards, true, nil
+	return m.Shards, m.Gen, true, nil
+}
+
+// InstallManifest atomically (re)pins dir's partition layout: the SHARDS
+// file is replaced in a single rename, with the file synced before and
+// the directory after it. This is the commit point of an offline
+// reshard — before the rename the store serves its old layout
+// untouched, after it the new generation's engines are live — and the
+// reshard deletes the old generation right behind it, so the rename
+// must be durable, not just atomic.
+func InstallManifest(dir string, n int, gen uint64) error {
+	if n < 1 || n > MaxShards {
+		return fmt.Errorf("shard: shard count %d out of range [1,%d]", n, MaxShards)
+	}
+	raw, err := json.Marshal(shardManifest{Shards: n, Gen: gen})
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, manifestName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	d.Close()
+	return serr
 }
 
 func writeManifest(dir string, n int) error {
@@ -235,15 +350,68 @@ func writeManifest(dir string, n int) error {
 	if _, err := os.Stat(path); err == nil {
 		return nil // already pinned (and checked against) by Open
 	}
-	raw, err := json.Marshal(shardManifest{Shards: n})
+	return InstallManifest(dir, n, 0)
+}
+
+// sweepStaleGenerations removes the leftovers a committed or abandoned
+// reshard may have stranded in a store directory: generation
+// subdirectories other than the live one, a torn SHARDS.tmp, and — once
+// the store lives in a reshard generation — the engine files of the
+// original generation-0 layout (root-level MANIFEST and run files,
+// shard-NN subdirectories). The SHARDS file is the authority on what is
+// live, so everything outside the pinned layout is garbage by
+// construction. Best-effort: a failure to remove garbage never blocks an
+// open.
+func sweepStaleGenerations(dir string, gen uint64) {
+	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return err
+		return
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
-		return err
+	live := genDirName(gen)
+	for _, de := range entries {
+		name := de.Name()
+		switch {
+		case name == manifestName+".tmp":
+		case genDirPattern.MatchString(name) && (gen == 0 || name != live):
+		case gen > 0 && (name == "MANIFEST" || name == "MANIFEST.tmp" || strings.HasPrefix(name, "run-")):
+		case gen > 0 && shardDirPattern.MatchString(name):
+		default:
+			continue
+		}
+		_ = os.RemoveAll(filepath.Join(dir, name))
 	}
-	return os.Rename(tmp, path)
+}
+
+var shardDirPattern = regexp.MustCompile(`^shard-[0-9]{2}$`)
+
+// RemoveGeneration deletes the engine files of a superseded layout
+// generation — the cleanup counterpart of sweepStaleGenerations, kept
+// next to it so the two share one notion of what a generation's files
+// are. Best-effort: the SHARDS file no longer references the layout, so
+// anything left behind is swept by the next Open.
+func RemoveGeneration(dir string, gen uint64, n int) {
+	if gen > 0 {
+		_ = os.RemoveAll(GenDir(dir, gen))
+		return
+	}
+	if n > 1 {
+		for i := 0; i < n; i++ {
+			_ = os.RemoveAll(EngineDir(dir, 0, n, i))
+		}
+		return
+	}
+	// Generation-0 single engine: its files live at the store root next
+	// to SHARDS and any generation directories.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, de := range ents {
+		name := de.Name()
+		if name == "MANIFEST" || name == "MANIFEST.tmp" || strings.HasPrefix(name, "run-") {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+	}
 }
 
 // runOn invokes fn for each listed shard index and returns the first
@@ -286,6 +454,10 @@ func (s *Store) runShards(fn func(i int) error) error { return s.runOn(s.allIdx,
 
 // Shards returns the partition count.
 func (s *Store) Shards() int { return s.n }
+
+// Generation returns the reshard generation of the open layout: 0 until
+// the store is first resharded, then the count of reshards applied.
+func (s *Store) Generation() uint64 { return s.gen }
 
 // ShardIndex returns the partition owning addr.
 func (s *Store) ShardIndex(addr types.Address) int { return ShardOf(addr, s.n) }
@@ -397,11 +569,16 @@ func (s *Store) PutBatch(updates []types.Update) error {
 // shard-index order, never completion order — into the deterministic
 // block-header digest.
 //
-// During post-crash replay a skipped shard contributes its current
-// (newer) root, so digests returned for blocks below the highest shard
-// checkpoint do not match the originally published headers; they match
-// again from the first block all shards execute (see Height). Deriving
-// the historical roots of skipped shards is an open item.
+// During post-crash replay a skipped shard (one whose checkpoint already
+// covers the block) contributes the exact root it committed at that
+// height, read back from its persisted root history
+// (Options.RootHistory, default 512 commits), so replayed digests
+// reproduce the originally published headers. Two residual windows
+// remain: a replayed height that has aged out of the retained history
+// falls back to the shard's current root, and with asynchronous merge an
+// *actively replaying* shard's own digests only converge from its
+// re-triggered cascade onward (the reopened structure is ahead of the
+// lost L0 — skipped shards are exact throughout).
 func (s *Store) Commit() (types.Hash, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -413,7 +590,11 @@ func (s *Store) Commit() (types.Hash, error) {
 	roots := make([]types.Hash, s.n)
 	err := s.runShards(func(i int) error {
 		if !s.active[i] {
-			roots[i] = s.engines[i].RootDigest()
+			if r, ok := s.engines[i].HistoricalRoot(s.height); ok {
+				roots[i] = r
+			} else {
+				roots[i] = s.engines[i].RootDigest()
+			}
 			return nil
 		}
 		var cerr error
@@ -572,6 +753,28 @@ func (sn *Snapshot) GetBatch(addrs []types.Address) ([]core.ReadResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// Entries streams every live entry of all shards — the pinned L0
+// snapshots plus every committed run — in globally sorted compound-key
+// order: shards partition the address space, so a k-way merge of their
+// per-shard exports is the store's full sorted column. Valid until the
+// snapshot is Released; check Err after exhaustion.
+func (sn *Snapshot) Entries() *run.MergeIterator {
+	its := make([]run.Iterator, len(sn.shards))
+	for i, s := range sn.shards {
+		its[i] = s.Entries()
+	}
+	return run.Merge(its...)
+}
+
+// EntryCount returns the number of entries Entries will yield.
+func (sn *Snapshot) EntryCount() int64 {
+	var n int64
+	for _, s := range sn.shards {
+		n += s.EntryCount()
+	}
+	return n
 }
 
 // Release unpins all shard views. Safe to call more than once.
@@ -776,15 +979,19 @@ func (s *Store) Stats() core.Stats {
 type ShardStat struct {
 	// Entries counts the shard's stored entries (memory + disk).
 	Entries int64
+	// Bytes is the shard's on-disk footprint (data + index files).
+	Bytes int64
 	// Puts counts the writes routed to the shard since open.
 	Puts int64
 	// MergeWaits counts the shard's merge back-pressure events.
 	MergeWaits int64
 }
 
-// ShardStats returns each shard's balance snapshot, for write-imbalance
-// introspection (a skewed address population routes unevenly and the hot
-// shard becomes the commit straggler).
+// ShardStats returns each shard's balance snapshot, for imbalance
+// introspection: a skewed address population routes unevenly, the hot
+// shard becomes the commit straggler, and a persistently lopsided
+// entry/byte spread is the operator's cue that an offline reshard is
+// worth its rewrite cost.
 func (s *Store) ShardStats() []ShardStat {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -792,8 +999,10 @@ func (s *Store) ShardStats() []ShardStat {
 	for i, e := range s.engines {
 		w, m := e.MemEntries()
 		st := e.Stats()
+		sb := e.Storage()
 		out[i] = ShardStat{
-			Entries:    e.Storage().Entries + int64(w) + int64(m),
+			Entries:    sb.Entries + int64(w) + int64(m),
+			Bytes:      sb.DataBytes + sb.IndexBytes,
 			Puts:       st.Puts,
 			MergeWaits: st.MergeWaits,
 		}
@@ -825,6 +1034,10 @@ func (s *Store) Close() error {
 		if err := e.Close(); err != nil && first == nil {
 			first = fmt.Errorf("shard %d: %w", i, err)
 		}
+	}
+	if s.unlock != nil {
+		s.unlock()
+		s.unlock = nil
 	}
 	return first
 }
