@@ -11,7 +11,8 @@
 //	colebench -exp all -json results.json
 //
 // Experiments: fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1
-// mptbreakdown shardscale mergesched readscale reshard all. -shards N
+// mptbreakdown shardscale mergesched readscale reshard compaction all.
+// -shards N
 // runs the COLE systems of any experiment over an N-shard store; for
 // shardscale (and the reshard target sweep) it sets the top of the
 // power-of-two sweep. -merge-workers W bounds the
@@ -172,6 +173,16 @@ func main() {
 		c.Shards = 0
 		run("reshard", func() (*bench.Table, error) {
 			return bench.ReshardBench(c, powerSweep(*shards, 8), *scratch)
+		})
+		any = true
+	}
+	if all || *exp == "compaction" {
+		// Single-shard by design: the experiment isolates the merge data
+		// path (legacy vs streaming IO) from shard parallelism.
+		c := pipelineCfg()
+		c.Shards = 0
+		run("compaction", func() (*bench.Table, error) {
+			return bench.CompactionBench(c, *scratch)
 		})
 		any = true
 	}

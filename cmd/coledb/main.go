@@ -217,7 +217,14 @@ func main() {
 		fmt.Printf("entries:     %d in %d runs across %d levels\n", sb.Entries, sb.Runs, sb.Levels)
 		fmt.Printf("disk:        %d data bytes + %d index bytes\n", sb.DataBytes, sb.IndexBytes)
 		fmt.Printf("ops:         %d puts, %d gets (%d bloom skips), %d prov queries\n", st.Puts, st.Gets, st.BloomSkips, st.ProvQueries)
-		fmt.Printf("maintenance: %d flushes, %d merges, %d merge waits\n", st.Flushes, st.Merges, st.MergeWaits)
+		fmt.Printf("maintenance: %d flushes (%.1f MB), %d merges (%.1f MB rewritten), %d merge waits\n",
+			st.Flushes, float64(st.FlushBytes)/(1<<20), st.Merges, float64(st.MergeBytes)/(1<<20), st.MergeWaits)
+		hitRate := 0.0
+		if st.PageReads+st.CacheHits > 0 {
+			hitRate = 100 * float64(st.CacheHits) / float64(st.PageReads+st.CacheHits)
+		}
+		fmt.Printf("page cache:  %d physical reads, %d hits (%.1f%% hit rate; merges bypass the cache)\n",
+			st.PageReads, st.CacheHits, hitRate)
 		fmt.Printf("Hstate:      %s\n", store.RootDigest())
 		if shards := store.ShardStats(); len(shards) > 1 {
 			var totalE, totalB, maxE, maxB int64

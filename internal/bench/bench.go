@@ -163,7 +163,22 @@ type Result struct {
 	ReshardMBps    float64 `json:",omitempty"`
 	TPSBefore      float64 `json:",omitempty"`
 	TPSAfter       float64 `json:",omitempty"`
-	blockLats      []time.Duration
+	// Compaction measurements (the compaction experiment): IOMode labels
+	// the pipeline leg — "legacy" reverts the per-entry CPU work and
+	// syscall granularity (1-page windows/writes, every leaf and Bloom
+	// hash recomputed) while "streaming" is the full pipeline; both legs
+	// read merges outside the LRU, so the cache columns describe the
+	// current bypass architecture, not a delta against the seed's
+	// cache-polluting reads. MergeBytes is the level-merge volume,
+	// MergeMBps that volume per second spent inside merge builds, and
+	// PageReads / CacheHits the point-read page-cache totals (physical
+	// reads vs LRU hits), which stay intact under heavy compaction.
+	IOMode     string  `json:",omitempty"`
+	MergeBytes int64   `json:",omitempty"`
+	MergeMBps  float64 `json:",omitempty"`
+	PageReads  int64   `json:",omitempty"`
+	CacheHits  int64   `json:",omitempty"`
+	blockLats  []time.Duration
 }
 
 // backendHandle couples a backend with its measurement hooks.

@@ -202,3 +202,34 @@ func TestMPTBreakdownTiny(t *testing.T) {
 		t.Fatalf("rows: %d", len(tab.Rows))
 	}
 }
+
+func TestCompactionBenchTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the isolated merge phase is sized for a meaningful bandwidth number")
+	}
+	table, err := CompactionBench(tiny(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two merge-only rows plus two rows per system.
+	if len(table.Rows) != 6 || len(table.Results) != 6 {
+		t.Fatalf("expected 6 rows, got %d rows / %d results", len(table.Rows), len(table.Results))
+	}
+	for i, res := range table.Results {
+		if res.IOMode != "legacy" && res.IOMode != "streaming" {
+			t.Fatalf("row %d: missing io mode: %+v", i, res)
+		}
+	}
+	// The isolated rows must carry a real bandwidth number; the engine
+	// rows must carry the sustained-write counters.
+	for _, res := range table.Results[:2] {
+		if res.MergeMBps <= 0 || res.MergeBytes <= 0 {
+			t.Fatalf("merge-only row lacks bandwidth: %+v", res)
+		}
+	}
+	for _, res := range table.Results[2:] {
+		if res.TPS <= 0 || res.PageReads+res.CacheHits == 0 {
+			t.Fatalf("engine row lacks counters: %+v", res)
+		}
+	}
+}

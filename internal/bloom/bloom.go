@@ -64,6 +64,15 @@ func (f *Filter) Add(addr types.Address) {
 	f.entries++
 }
 
+// AddRepeat records another insertion of the address most recently passed
+// to Add, without re-hashing it: the bit pattern is idempotent, so only
+// the entry counter advances and the marshaled filter stays byte-for-byte
+// what repeated Add calls would produce. Run builders streaming sorted
+// compound keys use it for the consecutive versions of one address —
+// which is most of a merge's entries under COLE's multi-version
+// workloads.
+func (f *Filter) AddRepeat() { f.entries++ }
+
 // MayContain reports whether addr may be present (false means definitely
 // absent).
 func (f *Filter) MayContain(addr types.Address) bool {

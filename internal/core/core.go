@@ -50,6 +50,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cole/internal/bloom"
 	"cole/internal/mbtree"
@@ -76,8 +77,25 @@ type Options struct {
 	// BloomFP is the per-run Bloom filter false-positive target.
 	// Default 0.01.
 	BloomFP float64
-	// CachePages bounds each file's page cache. Default 16.
+	// CachePages bounds each file's page cache: the per-file LRU that
+	// point reads (Get/GetAt/ProvQuery) hit. Streaming merges bypass it
+	// entirely (see MergeReadahead), so it can stay small without merge
+	// traffic thrashing it. Default 16.
 	CachePages int
+	// MergeReadahead is the window, in pages, that streaming compaction
+	// readers (level merges, exports, reshard sources) fetch per syscall,
+	// outside the page cache. Default 256 (~1 MiB at 4 KiB pages).
+	MergeReadahead int
+	// WriteBufferPages is how many pages run builders coalesce per write
+	// syscall. Default 256 (~1 MiB at 4 KiB pages); the on-disk files are
+	// byte-identical for any value.
+	WriteBufferPages int
+	// LegacyCompaction makes run builds recompute every Merkle leaf hash
+	// (instead of streaming the precomputed ones from the source runs'
+	// Merkle files) and re-hash the Bloom base digest for every entry —
+	// the seed's per-entry CPU path, kept as an ablation knob for the
+	// compaction benchmark (output bytes are identical either way).
+	LegacyCompaction bool
 	// AsyncMerge selects COLE* (checkpoint-based asynchronous merge).
 	AsyncMerge bool
 	// MBTreeFanout is the L0 Merkle B+-tree fanout. Default 16.
@@ -152,11 +170,14 @@ func (o Options) validate() error {
 
 func (o Options) runParams() run.Params {
 	return run.Params{
-		PageSize:   o.PageSize,
-		Fanout:     o.Fanout,
-		BloomFP:    o.BloomFP,
-		CachePages: o.CachePages,
-		OptimalPLA: o.OptimalPLA,
+		PageSize:         o.PageSize,
+		Fanout:           o.Fanout,
+		BloomFP:          o.BloomFP,
+		CachePages:       o.CachePages,
+		MergeReadahead:   o.MergeReadahead,
+		WriteBufferPages: o.WriteBufferPages,
+		OptimalPLA:       o.OptimalPLA,
+		LegacyCompaction: o.LegacyCompaction,
 	}
 }
 
@@ -181,6 +202,9 @@ type mergeState struct {
 	done   chan struct{}
 	newRun *run.Run
 	err    error
+	// elapsed is the wall time the job spent building its run, written
+	// before done closes (merge-bandwidth accounting).
+	elapsed time.Duration
 }
 
 // level is one on-disk level: two run groups (sync mode uses only the
@@ -273,6 +297,22 @@ type Stats struct {
 	// that found the shared worker pool saturated and queued before
 	// starting.
 	MergeWaits int64
+	// FlushBytes is the logical volume written by L0 flushes (entry bytes
+	// of every flushed run); MergeBytes the volume written by level
+	// sort-merges, where each entry is re-read, re-hashed (unless passed
+	// through), and re-written. MergeNanos is the wall time spent inside
+	// level-merge run builds, so MergeBytes/MergeNanos is the merge
+	// bandwidth the compaction benchmark reports — the bandwidth that
+	// gates sustained write TPS once levels deepen.
+	FlushBytes int64
+	MergeBytes int64
+	MergeNanos int64
+	// PageReads / CacheHits aggregate the point-read page-cache counters
+	// (value + index files) across the store's runs: physical 4 KiB reads
+	// vs LRU hits. Streaming merges never touch these caches, so a busy
+	// compaction does not depress the hit rate.
+	PageReads int64
+	CacheHits int64
 }
 
 // Open creates or reopens a COLE store in opts.Dir with its own merge
@@ -558,10 +598,21 @@ func (e *Engine) HistoricalRoot(height uint64) (types.Hash, bool) {
 
 // Stats returns a snapshot of the engine counters. Read counters are
 // atomics fed by the lock-free read path; write counters are gathered
-// under the engine lock.
+// under the engine lock. PageReads/CacheHits sum the live runs' current
+// page-cache counters plus the totals of runs already retired by merges
+// (accumulated into e.stats at retirement).
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	st := e.stats
+	for _, lv := range e.levels {
+		for g := 0; g < 2; g++ {
+			for _, rr := range lv.groups[g] {
+				v, i := rr.r.IOStats()
+				st.PageReads += v.PageReads + i.PageReads
+				st.CacheHits += v.CacheHits + i.CacheHits
+			}
+		}
+	}
 	e.mu.Unlock()
 	st.Gets = e.gets.Load()
 	st.ProvQueries = e.provQueries.Load()

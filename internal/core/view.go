@@ -151,6 +151,12 @@ func (e *Engine) publishLocked() {
 // them keep the files alive; the last release unlinks them.
 func (e *Engine) retireLocked() {
 	for _, rr := range e.retiring {
+		// Fold the run's point-read cache counters into the engine totals
+		// before the files can be reclaimed, so Stats stays cumulative
+		// across merges.
+		v, i := rr.r.IOStats()
+		e.stats.PageReads += v.PageReads + i.PageReads
+		e.stats.CacheHits += v.CacheHits + i.CacheHits
 		rr.retired.Store(true)
 		rr.release()
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"cole/internal/run"
 	"cole/internal/types"
@@ -221,6 +222,7 @@ func (e *Engine) cascadeSync() error {
 	e.mem[e.memWriting] = fresh
 	e.ensureLevel(0).groups[0] = append(e.levels[0].groups[0], newRunRef(r))
 	e.stats.Flushes++
+	e.stats.FlushBytes += r.Count() * types.EntrySize
 
 	for i := 0; i < len(e.levels); i++ {
 		lv := e.levels[i]
@@ -235,6 +237,7 @@ func (e *Engine) cascadeSync() error {
 		lv.groups[0] = nil
 		e.ensureLevel(i + 1).groups[0] = append(e.levels[i+1].groups[0], newRunRef(merged))
 		e.stats.Merges++
+		e.stats.MergeBytes += merged.Count() * types.EntrySize
 	}
 	return nil
 }
@@ -307,6 +310,15 @@ func (e *Engine) commitMerge(ms *mergeState, destLevel int) error {
 	}
 	lv := e.ensureLevel(destLevel)
 	lv.groups[lv.writing] = append(lv.groups[lv.writing], newRunRef(ms.newRun))
+	// destLevel 0 receives L0 flushes; deeper levels receive sort-merges.
+	// ms.elapsed was written by the job before done closed (happens-before
+	// via the channel), so reading it here under mu is safe.
+	if destLevel == 0 {
+		e.stats.FlushBytes += ms.newRun.Count() * types.EntrySize
+	} else {
+		e.stats.MergeBytes += ms.newRun.Count() * types.EntrySize
+		e.stats.MergeNanos += int64(ms.elapsed)
+	}
 	return nil
 }
 
@@ -342,6 +354,8 @@ func (e *Engine) startLevelMerge(levelIdx int, runs []*run.Run) *mergeState {
 	ms := &mergeState{done: make(chan struct{})}
 	e.sched.Submit(func() {
 		defer close(ms.done)
+		start := time.Now()
+		defer func() { ms.elapsed = time.Since(start) }()
 		it := run.MergeRuns(runs)
 		r, err := run.Build(e.opts.Dir, id, count, e.opts.runParams(), it)
 		if err != nil {
@@ -369,11 +383,13 @@ func (e *Engine) buildMergedRun(runs []*run.Run) (*run.Run, error) {
 	var merged *run.Run
 	var err error
 	e.sched.Run(func() {
+		start := time.Now()
 		it := run.MergeRuns(runs)
 		merged, err = run.Build(e.opts.Dir, id, count, e.opts.runParams(), it)
 		if err == nil {
 			err = it.Err()
 		}
+		e.stats.MergeNanos += int64(time.Since(start))
 	}, e.noteMergeWait)
 	if err != nil {
 		return nil, fmt.Errorf("core: level merge: %w", err)
@@ -436,6 +452,7 @@ func (e *Engine) FlushAll() error {
 		}
 		e.mem[gi] = fresh
 		e.stats.Flushes++
+		e.stats.FlushBytes += r.Count() * types.EntrySize
 	}
 	e.checkpoint = e.committed
 	e.lastCascade = e.committed

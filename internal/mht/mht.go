@@ -55,9 +55,15 @@ func TotalNodes(counts []int64) int64 {
 	return t
 }
 
+// DefaultWriteBufferBytes is the per-layer coalescing budget of a Writer
+// (~1 MiB of hashes per write syscall).
+const DefaultWriteBufferBytes = 1 << 20
+
 // Writer streams an m-ary complete MHT to disk (Algorithm 4). The total
 // stream size n must be known up front (it is: a run's size is fixed by its
-// level).
+// level). Nodes are held in per-layer buffers and flushed in coalesced
+// multi-node writes instead of one tiny WriteAt per completed group; the
+// file bytes are identical for every buffer size.
 type Writer struct {
 	f       *os.File
 	path    string
@@ -66,19 +72,41 @@ type Writer struct {
 	offsets []int64
 	flushed []int64 // records flushed per layer
 	bufs    [][]types.Hash
-	added   int64
-	n       int64
-	root    types.Hash
-	done    bool
+	// ungrouped is the tail of bufs[i] not yet folded into a parent; the
+	// grouped prefix is final and flushable at any time.
+	ungrouped []int
+	// bufHashes is the coalescing threshold: a layer's grouped prefix is
+	// written once it holds at least this many nodes.
+	bufHashes int
+	added     int64
+	n         int64
+	root      types.Hash
+	done      bool
 }
 
-// CreateWriter creates a Merkle file for n leaves with fanout m ≥ 2.
+// CreateWriter creates a Merkle file for n leaves with fanout m ≥ 2,
+// coalescing writes with the default buffer.
 func CreateWriter(path string, n int64, m int) (*Writer, error) {
+	return CreateWriterSize(path, n, m, 0)
+}
+
+// CreateWriterSize creates a Merkle file whose node writes are coalesced
+// into syscalls of roughly bufBytes (0 selects DefaultWriteBufferBytes;
+// small values restore the per-group write granularity). The on-disk
+// bytes and root are identical for every buffer size.
+func CreateWriterSize(path string, n int64, m int, bufBytes int) (*Writer, error) {
 	if m < 2 {
 		return nil, fmt.Errorf("mht: fanout %d < 2", m)
 	}
 	if n < 1 {
 		return nil, fmt.Errorf("mht: need at least one leaf, got %d", n)
+	}
+	if bufBytes < 1 {
+		bufBytes = DefaultWriteBufferBytes
+	}
+	bufHashes := bufBytes / types.HashSize
+	if bufHashes < 1 {
+		bufHashes = 1
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
 	if err != nil {
@@ -86,20 +114,32 @@ func CreateWriter(path string, n int64, m int) (*Writer, error) {
 	}
 	counts := LayerCounts(n, m)
 	w := &Writer{
-		f:       f,
-		path:    path,
-		m:       m,
-		counts:  counts,
-		offsets: LayerOffsets(counts),
-		flushed: make([]int64, len(counts)),
-		bufs:    make([][]types.Hash, len(counts)),
-		n:       n,
+		f:         f,
+		path:      path,
+		m:         m,
+		counts:    counts,
+		offsets:   LayerOffsets(counts),
+		flushed:   make([]int64, len(counts)),
+		bufs:      make([][]types.Hash, len(counts)),
+		ungrouped: make([]int, len(counts)),
+		bufHashes: bufHashes,
+		n:         n,
 	}
 	if err := f.Truncate(TotalNodes(counts) * types.HashSize); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return w, nil
+}
+
+// push appends a node to a layer buffer; the single node of the top
+// layer is the root.
+func (w *Writer) push(i int, h types.Hash) {
+	w.bufs[i] = append(w.bufs[i], h)
+	w.ungrouped[i]++
+	if i == len(w.counts)-1 {
+		w.root = h
+	}
 }
 
 // Add appends the next leaf hash (h(K‖value) of the entry at the current
@@ -112,34 +152,49 @@ func (w *Writer) Add(leaf types.Hash) error {
 		return fmt.Errorf("mht: more than %d leaves added to %s", w.n, w.path)
 	}
 	w.added++
-	w.bufs[0] = append(w.bufs[0], leaf)
+	w.push(0, leaf)
 	for i := 0; i < len(w.counts)-1; i++ {
-		if len(w.bufs[i]) < w.m {
+		if w.ungrouped[i] < w.m {
 			break
 		}
-		parent := types.HashConcat(w.bufs[i]...)
-		w.bufs[i+1] = append(w.bufs[i+1], parent)
-		if err := w.flushLayer(i); err != nil {
+		parent := types.HashConcat(w.bufs[i][len(w.bufs[i])-w.m:]...)
+		w.ungrouped[i] = 0
+		if err := w.maybeFlush(i); err != nil {
 			return err
 		}
+		w.push(i+1, parent)
 	}
 	return nil
 }
 
-func (w *Writer) flushLayer(i int) error {
-	if len(w.bufs[i]) == 0 {
+// maybeFlush writes a layer's grouped prefix once it exceeds the
+// coalescing threshold (capped at the layer's total node count — small
+// upper layers flush once, at Finish).
+func (w *Writer) maybeFlush(i int) error {
+	grouped := len(w.bufs[i]) - w.ungrouped[i]
+	if int64(grouped) < min(int64(w.bufHashes), w.counts[i]) {
 		return nil
 	}
-	buf := make([]byte, 0, len(w.bufs[i])*types.HashSize)
-	for _, h := range w.bufs[i] {
+	return w.flushLayer(i, grouped)
+}
+
+// flushLayer writes the first k buffered nodes of layer i at their file
+// offsets in one syscall and shifts the unflushed tail down.
+func (w *Writer) flushLayer(i, k int) error {
+	if k == 0 {
+		return nil
+	}
+	buf := make([]byte, 0, k*types.HashSize)
+	for _, h := range w.bufs[i][:k] {
 		buf = append(buf, h[:]...)
 	}
 	off := (w.offsets[i] + w.flushed[i]) * types.HashSize
 	if _, err := w.f.WriteAt(buf, off); err != nil {
 		return err
 	}
-	w.flushed[i] += int64(len(w.bufs[i]))
-	w.bufs[i] = w.bufs[i][:0]
+	w.flushed[i] += int64(k)
+	rest := copy(w.bufs[i], w.bufs[i][k:])
+	w.bufs[i] = w.bufs[i][:rest]
 	return nil
 }
 
@@ -155,21 +210,14 @@ func (w *Writer) Finish() (types.Hash, error) {
 	}
 	d := len(w.counts)
 	for i := 0; i < d; i++ {
-		if len(w.bufs[i]) == 0 {
-			continue
+		// Fold the short trailing group into its parent (Definition 2
+		// allows the last group of a layer to hold fewer than m nodes).
+		if i < d-1 && w.ungrouped[i] > 0 {
+			parent := types.HashConcat(w.bufs[i][len(w.bufs[i])-w.ungrouped[i]:]...)
+			w.ungrouped[i] = 0
+			w.push(i+1, parent)
 		}
-		if i == d-1 {
-			// Top layer: its single hash is the root.
-			w.root = w.bufs[i][0]
-			if err := w.flushLayer(i); err != nil {
-				w.f.Close()
-				return types.Hash{}, err
-			}
-			continue
-		}
-		parent := types.HashConcat(w.bufs[i]...)
-		w.bufs[i+1] = append(w.bufs[i+1], parent)
-		if err := w.flushLayer(i); err != nil {
+		if err := w.flushLayer(i, len(w.bufs[i])); err != nil {
 			w.f.Close()
 			return types.Hash{}, err
 		}
@@ -181,15 +229,9 @@ func (w *Writer) Finish() (types.Hash, error) {
 			return types.Hash{}, fmt.Errorf("mht: layer %d flushed %d of %d nodes", i, w.flushed[i], c)
 		}
 	}
-	if d == 1 {
-		// Single leaf: the leaf is the root. (flushLayer already wrote it.)
-		var buf [types.HashSize]byte
-		if _, err := w.f.ReadAt(buf[:], 0); err != nil {
-			w.f.Close()
-			return types.Hash{}, err
-		}
-		w.root = types.Hash(buf)
-	}
+	// (push captured the root when the top layer's single node arrived —
+	// in Add's cascade, in the drain above, or, for a one-leaf tree, at
+	// the leaf itself.)
 	w.done = true
 	if err := w.f.Sync(); err != nil {
 		w.f.Close()
@@ -269,6 +311,64 @@ func (r *File) Root() (types.Hash, error) {
 
 // HashReads returns how many node hashes were fetched (IO accounting).
 func (r *File) HashReads() int64 { return r.hashReads.Load() }
+
+// LeafReader streams the bottom-layer leaf hashes through a private
+// readahead buffer: one ReadAt per window instead of one per hash, and
+// nothing shared with concurrent proof readers. It serves the leaf-hash
+// passthrough of level merges — the leaf hashes a source run already
+// stores are exactly the h(K‖value) digests the destination run's
+// builder needs, so re-reading them here replaces one SHA-256 per entry.
+// Access is positional (At) so consumers that interleave several sources
+// stay correct; sequential consumption costs one syscall per window.
+type LeafReader struct {
+	f     *File
+	buf   []byte
+	start int64 // leaf index of buf[0]
+	n     int64 // valid leaves in buf
+	win   int64 // leaves per refill
+}
+
+// LeafStream returns a reader over the file's leaf hashes with a
+// readahead window of roughly bufBytes (0 selects
+// DefaultWriteBufferBytes).
+func (r *File) LeafStream(bufBytes int) *LeafReader {
+	if bufBytes < 1 {
+		bufBytes = DefaultWriteBufferBytes
+	}
+	win := int64(bufBytes / types.HashSize)
+	if win < 1 {
+		win = 1
+	}
+	if win > r.n {
+		win = r.n
+	}
+	return &LeafReader{f: r, win: win}
+}
+
+// At returns the leaf hash at position i, refilling the window from i
+// when i falls outside it.
+func (l *LeafReader) At(i int64) (types.Hash, error) {
+	if i < 0 || i >= l.f.n {
+		return types.Hash{}, fmt.Errorf("mht: leaf %d out of range [0,%d) in %s", i, l.f.n, l.f.path)
+	}
+	if i < l.start || i >= l.start+l.n {
+		if l.buf == nil {
+			l.buf = make([]byte, l.win*types.HashSize)
+		}
+		n := l.win
+		if rest := l.f.n - i; rest < n {
+			n = rest
+		}
+		off := (l.f.offsets[0] + i) * types.HashSize
+		if _, err := l.f.f.ReadAt(l.buf[:n*types.HashSize], off); err != nil {
+			return types.Hash{}, fmt.Errorf("mht: leaf read [%d,%d) of %s: %w", i, i+n, l.f.path, err)
+		}
+		l.start, l.n = i, n
+	}
+	var h types.Hash
+	copy(h[:], l.buf[(i-l.start)*types.HashSize:])
+	return h, nil
+}
 
 // Close releases the file handle.
 func (r *File) Close() error { return r.f.Close() }

@@ -9,9 +9,13 @@
 // record within one page of the predicted page, so a lookup touches at most
 // two pages.
 //
-// Writers stream append-only (runs are immutable once built); readers go
-// through a small per-file LRU page cache and count disk reads vs cache
-// hits so benchmarks can report IO cost.
+// Writers stream append-only (runs are immutable once built) and coalesce
+// many pages per write syscall; point readers go through a small per-file
+// LRU page cache and count disk reads vs cache hits so benchmarks can
+// report IO cost. Sequential consumers (level merges, exports, reshard)
+// instead use SequentialReader, which reads large readahead windows into
+// a private buffer and never touches the shared LRU — a background
+// compaction cannot evict the working set of concurrent point readers.
 package pagefile
 
 import (
@@ -23,6 +27,14 @@ import (
 
 // DefaultPageSize is the disk page granularity assumed by the paper.
 const DefaultPageSize = 4096
+
+// DefaultWriteBufferPages is how many pages a Writer coalesces per write
+// syscall by default (~1 MiB at the default page size).
+const DefaultWriteBufferPages = 256
+
+// DefaultReadaheadPages is the default SequentialReader window (~1 MiB
+// at the default page size).
+const DefaultReadaheadPages = 256
 
 // PerPage returns how many recSize-byte records fit in a page.
 func PerPage(pageSize, recSize int) int {
@@ -38,29 +50,49 @@ func Epsilon(pageSize, recSize int) int {
 	return PerPage(pageSize, recSize) / 2
 }
 
-// IOStats counts physical page reads and cache hits.
+// IOStats counts physical page reads and cache hits on the point-read
+// path, plus pages fetched by sequential readers (which bypass the
+// cache entirely).
 type IOStats struct {
 	PageReads int64
 	CacheHits int64
+	// SeqReads counts pages fetched by SequentialReaders: streaming IO
+	// that never touched (or evicted from) the LRU cache.
+	SeqReads int64
 }
 
-// Writer appends fixed-size records to a page-padded file.
+// Writer appends fixed-size records to a page-padded file, coalescing
+// several pages into each write syscall.
 type Writer struct {
 	f        *os.File
 	path     string
 	pageSize int
 	recSize  int
 	perPage  int
-	page     []byte
-	inPage   int
+	buf      []byte // bufPages × pageSize, written in one syscall when full
+	bufPages int
+	inBuf    int // complete pages buffered
+	inPage   int // records in the page currently being filled
 	count    int64
 	closed   bool
 }
 
-// CreateWriter creates (truncating) a record file for streaming writes.
+// CreateWriter creates (truncating) a record file for streaming writes
+// with the default write-coalescing buffer.
 func CreateWriter(path string, pageSize, recSize int) (*Writer, error) {
+	return CreateWriterSize(path, pageSize, recSize, 0)
+}
+
+// CreateWriterSize creates a record file whose writes are coalesced into
+// bufPages-page syscalls (0 selects DefaultWriteBufferPages; 1 restores
+// the one-syscall-per-page behavior). The on-disk bytes are identical
+// for every buffer size.
+func CreateWriterSize(path string, pageSize, recSize, bufPages int) (*Writer, error) {
 	if PerPage(pageSize, recSize) < 1 {
 		return nil, fmt.Errorf("pagefile: record size %d does not fit page size %d", recSize, pageSize)
+	}
+	if bufPages < 1 {
+		bufPages = DefaultWriteBufferPages
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -72,9 +104,13 @@ func CreateWriter(path string, pageSize, recSize int) (*Writer, error) {
 		pageSize: pageSize,
 		recSize:  recSize,
 		perPage:  PerPage(pageSize, recSize),
-		page:     make([]byte, pageSize),
+		buf:      make([]byte, bufPages*pageSize),
+		bufPages: bufPages,
 	}, nil
 }
+
+// pageStart returns the offset of the in-progress page inside the buffer.
+func (w *Writer) pageStart() int { return w.inBuf * w.pageSize }
 
 // Append writes one record; rec must be exactly the record size.
 func (w *Writer) Append(rec []byte) error {
@@ -84,27 +120,43 @@ func (w *Writer) Append(rec []byte) error {
 	if len(rec) != w.recSize {
 		return fmt.Errorf("pagefile: record length %d, want %d", len(rec), w.recSize)
 	}
-	copy(w.page[w.inPage*w.recSize:], rec)
+	copy(w.buf[w.pageStart()+w.inPage*w.recSize:], rec)
 	w.inPage++
 	w.count++
 	if w.inPage == w.perPage {
-		return w.flushPage()
+		return w.sealPage()
 	}
 	return nil
 }
 
-func (w *Writer) flushPage() error {
+// sealPage zero-pads the in-progress page, marks it complete, and issues
+// the coalesced write when the buffer is full.
+func (w *Writer) sealPage() error {
 	if w.inPage == 0 {
 		return nil
 	}
-	// Zero the padding after the last record (page buffer is reused).
-	for i := w.inPage * w.recSize; i < w.pageSize; i++ {
-		w.page[i] = 0
-	}
-	if _, err := w.f.Write(w.page); err != nil {
-		return err
+	// Zero the padding after the last record (the buffer is reused).
+	start := w.pageStart()
+	for i := start + w.inPage*w.recSize; i < start+w.pageSize; i++ {
+		w.buf[i] = 0
 	}
 	w.inPage = 0
+	w.inBuf++
+	if w.inBuf == w.bufPages {
+		return w.flush()
+	}
+	return nil
+}
+
+// flush writes the buffered complete pages in one syscall.
+func (w *Writer) flush() error {
+	if w.inBuf == 0 {
+		return nil
+	}
+	if _, err := w.f.Write(w.buf[:w.inBuf*w.pageSize]); err != nil {
+		return err
+	}
+	w.inBuf = 0
 	return nil
 }
 
@@ -123,23 +175,22 @@ func (w *Writer) Pad() error {
 	if w.inPage == 0 {
 		return nil
 	}
-	// Zero the padding slots explicitly: the page buffer is reused across
-	// pages and flushPage only zeroes past w.inPage.
-	for i := w.inPage * w.recSize; i < w.pageSize; i++ {
-		w.page[i] = 0
-	}
 	w.count += int64(w.perPage - w.inPage)
-	w.inPage = w.perPage
-	return w.flushPage()
+	return w.sealPage()
 }
 
-// Finish flushes the trailing partial page, syncs and closes the file.
+// Finish flushes the trailing partial page and buffered pages, syncs and
+// closes the file.
 func (w *Writer) Finish() error {
 	if w.closed {
 		return nil
 	}
 	w.closed = true
-	if err := w.flushPage(); err != nil {
+	if err := w.sealPage(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.flush(); err != nil {
 		w.f.Close()
 		return err
 	}
@@ -174,6 +225,7 @@ type File struct {
 
 	pageReads atomic.Int64
 	cacheHits atomic.Int64
+	seqReads  atomic.Int64
 }
 
 // Open opens a record file for reading. count is the number of records (the
@@ -263,7 +315,23 @@ func (r *File) pageData(page int64) ([]byte, error) {
 }
 
 // Record copies record i into dst (len ≥ recSize) and returns dst[:recSize].
+// Use RecordView when the caller decodes immediately and never retains
+// the bytes: Record pays a second copy (cached page → dst) for the right
+// to hold the buffer indefinitely.
 func (r *File) Record(i int64, dst []byte) ([]byte, error) {
+	data, err := r.RecordView(i)
+	if err != nil {
+		return nil, err
+	}
+	n := copy(dst, data)
+	return dst[:n], nil
+}
+
+// RecordView returns record i as a view into the cached page: no copy.
+// The bytes are immutable (pages are never modified once cached) but the
+// caller must not mutate them; decode before issuing writes that could
+// recycle buffers elsewhere, and prefer Record for anything retained.
+func (r *File) RecordView(i int64) ([]byte, error) {
 	if i < 0 || i >= r.count {
 		return nil, fmt.Errorf("pagefile: record %d out of range [0,%d) in %s", i, r.count, r.path)
 	}
@@ -272,8 +340,7 @@ func (r *File) Record(i int64, dst []byte) ([]byte, error) {
 		return nil, err
 	}
 	off := int(i%int64(r.perPage)) * r.recSize
-	n := copy(dst, data[off:off+r.recSize])
-	return dst[:n], nil
+	return data[off : off+r.recSize], nil
 }
 
 // PageRecords returns the raw records of a page as a single byte slice of
@@ -291,7 +358,75 @@ func (r *File) PageRecords(page int64) ([]byte, int, error) {
 
 // Stats returns cumulative IO counters.
 func (r *File) Stats() IOStats {
-	return IOStats{PageReads: r.pageReads.Load(), CacheHits: r.cacheHits.Load()}
+	return IOStats{
+		PageReads: r.pageReads.Load(),
+		CacheHits: r.cacheHits.Load(),
+		SeqReads:  r.seqReads.Load(),
+	}
+}
+
+// SequentialReader streams a file's records in position order through a
+// private readahead buffer: each refill fetches up to `window` pages in
+// one ReadAt syscall, and nothing ever touches the File's LRU cache or
+// mutex. This is the read side of the compaction pipeline — a background
+// level merge scanning whole runs neither evicts the working set of
+// concurrent point readers nor serializes against them. Safe to use
+// concurrently with point reads on the same File (ReadAt carries no
+// shared offset); each SequentialReader itself is single-consumer.
+type SequentialReader struct {
+	f         *File
+	buf       []byte
+	window    int   // pages per refill
+	startPage int64 // first page currently buffered
+	pages     int   // valid pages in buf
+	pos       int64 // next record index
+}
+
+// SequentialReader returns a streaming reader over all records, reading
+// readaheadPages pages per syscall (0 selects DefaultReadaheadPages).
+func (r *File) SequentialReader(readaheadPages int) *SequentialReader {
+	if readaheadPages < 1 {
+		readaheadPages = DefaultReadaheadPages
+	}
+	if np := r.NumPages(); int64(readaheadPages) > np {
+		readaheadPages = int(np)
+	}
+	return &SequentialReader{f: r, window: readaheadPages}
+}
+
+// Next returns a view of the next record (valid until the following Next
+// call refills the buffer); ok is false after the last record.
+func (s *SequentialReader) Next() (rec []byte, ok bool, err error) {
+	if s.pos >= s.f.count {
+		return nil, false, nil
+	}
+	page := s.pos / int64(s.f.perPage)
+	if s.buf == nil || page < s.startPage || page >= s.startPage+int64(s.pages) {
+		if err := s.refill(page); err != nil {
+			return nil, false, err
+		}
+	}
+	off := int(page-s.startPage)*s.f.pageSize + int(s.pos%int64(s.f.perPage))*s.f.recSize
+	s.pos++
+	return s.buf[off : off+s.f.recSize], true, nil
+}
+
+// refill loads `window` pages starting at page in one syscall.
+func (s *SequentialReader) refill(page int64) error {
+	if s.buf == nil {
+		s.buf = make([]byte, s.window*s.f.pageSize)
+	}
+	n := int64(s.window)
+	if rest := s.f.NumPages() - page; rest < n {
+		n = rest
+	}
+	if _, err := s.f.f.ReadAt(s.buf[:n*int64(s.f.pageSize)], page*int64(s.f.pageSize)); err != nil {
+		return fmt.Errorf("pagefile: sequential read pages [%d,%d) of %s: %w", page, page+n, s.f.path, err)
+	}
+	s.f.seqReads.Add(n)
+	s.startPage = page
+	s.pages = int(n)
+	return nil
 }
 
 // Close releases the file handle.

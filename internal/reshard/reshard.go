@@ -309,6 +309,13 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 			if !ok {
 				break
 			}
+			// Carry the source run's precomputed Merkle leaf hash through
+			// the spool: the destination build then streams hashes back
+			// instead of re-running SHA-256 over every entry.
+			leaf, err := it.LeafHash()
+			if err != nil {
+				return fmt.Errorf("source shard %d: %w", i, err)
+			}
 			j := shard.ShardOf(e.Key.Addr, shards)
 			if writers[j] == nil {
 				w, err := newSpoolWriter(spoolPath(spoolDir, i, j))
@@ -317,7 +324,7 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 				}
 				writers[j] = w
 			}
-			if err := writers[j].add(e); err != nil {
+			if err := writers[j].add(e, leaf); err != nil {
 				return err
 			}
 			counts[i][j]++
@@ -502,9 +509,14 @@ func forEachPar(workers, n int, fn func(i int) error) error {
 
 // ---- spool files ----
 //
-// A spool is a flat sequence of encoded entries (types.EntrySize bytes
-// each) in sorted key order: the slice of one source shard's stream that
-// routes to one destination shard.
+// A spool is a flat sequence of fixed-size records in sorted key order —
+// the slice of one source shard's stream that routes to one destination
+// shard. Each record is an encoded entry followed by its Merkle leaf
+// hash as read from the source run's .mrk file, so the destination
+// build's hash passthrough survives the demultiplexing hop.
+
+// spoolRecSize is one spool record: entry bytes + leaf hash.
+const spoolRecSize = types.EntrySize + types.HashSize
 
 func spoolPath(spoolDir string, src, dst int) string {
 	return filepath.Join(spoolDir, fmt.Sprintf("s%03d-d%03d.ent", src, dst))
@@ -513,7 +525,7 @@ func spoolPath(spoolDir string, src, dst int) string {
 type spoolWriter struct {
 	f   *os.File
 	w   *bufio.Writer
-	buf [types.EntrySize]byte
+	buf [spoolRecSize]byte
 }
 
 func newSpoolWriter(path string) (*spoolWriter, error) {
@@ -521,11 +533,12 @@ func newSpoolWriter(path string) (*spoolWriter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &spoolWriter{f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+	return &spoolWriter{f: f, w: bufio.NewWriterSize(f, 1<<20)}, nil
 }
 
-func (s *spoolWriter) add(e types.Entry) error {
-	types.EncodeEntry(s.buf[:], e)
+func (s *spoolWriter) add(e types.Entry, leaf types.Hash) error {
+	types.EncodeEntry(s.buf[:types.EntrySize], e)
+	copy(s.buf[types.EntrySize:], leaf[:])
 	_, err := s.w.Write(s.buf[:])
 	return err
 }
@@ -541,12 +554,15 @@ func (s *spoolWriter) finish() error {
 func (s *spoolWriter) abort() { s.f.Close() }
 
 // spoolIterator streams a spool back; it implements run.ErrIterator so
-// read failures propagate through the destination merge.
+// read failures propagate through the destination merge, and
+// run.HashedIterator so the spooled leaf hashes reach the destination
+// run builder.
 type spoolIterator struct {
-	f   *os.File
-	r   *bufio.Reader
-	buf [types.EntrySize]byte
-	err error
+	f    *os.File
+	r    *bufio.Reader
+	buf  [spoolRecSize]byte
+	leaf types.Hash
+	err  error
 }
 
 func openSpool(path string) (*spoolIterator, error) {
@@ -554,7 +570,7 @@ func openSpool(path string) (*spoolIterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &spoolIterator{f: f, r: bufio.NewReaderSize(f, 1<<16)}, nil
+	return &spoolIterator{f: f, r: bufio.NewReaderSize(f, 1<<20)}, nil
 }
 
 // Next implements run.Iterator.
@@ -568,13 +584,21 @@ func (s *spoolIterator) Next() (types.Entry, bool) {
 		}
 		return types.Entry{}, false
 	}
-	e, err := types.DecodeEntry(s.buf[:])
+	e, err := types.DecodeEntry(s.buf[:types.EntrySize])
 	if err != nil {
 		s.err = err
 		return types.Entry{}, false
 	}
+	copy(s.leaf[:], s.buf[types.EntrySize:])
 	return e, true
 }
+
+// Hashed implements run.HashedIterator.
+func (s *spoolIterator) Hashed() bool { return true }
+
+// LeafHash implements run.HashedIterator: the leaf hash spooled with the
+// entry most recently returned by Next.
+func (s *spoolIterator) LeafHash() (types.Hash, error) { return s.leaf, nil }
 
 // Err implements run.ErrIterator.
 func (s *spoolIterator) Err() error { return s.err }

@@ -1,0 +1,198 @@
+package run
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cole/internal/types"
+)
+
+// splitSorted stripes a sorted entry set round-robin into k sorted
+// sub-streams (the shape of a level's run group).
+func splitSorted(entries []types.Entry, k int) [][]types.Entry {
+	out := make([][]types.Entry, k)
+	for i, e := range entries {
+		out[i%k] = append(out[i%k], e)
+	}
+	return out
+}
+
+// runFiles reads the four files of a run for byte comparison.
+func runFiles(t *testing.T, dir string, id uint64) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	for _, name := range Files(id) {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Ext(name)] = raw
+	}
+	return out
+}
+
+// TestBuildGoldenStreamingVsLegacy is the byte-compatibility oracle for
+// the streaming compaction pipeline: the same merged entry stream built
+// through the legacy path (1-page IO, every leaf and Bloom hash
+// recomputed) and the streaming path (readahead + coalesced writes +
+// leaf-hash passthrough) must produce byte-identical .val/.idx/.mrk/.met
+// files and equal run digests — for both PLA builders.
+func TestBuildGoldenStreamingVsLegacy(t *testing.T) {
+	entries := genEntries(7, 800, 8)
+	for _, optimal := range []bool{false, true} {
+		legacyParams := Params{
+			Fanout: 4, OptimalPLA: optimal,
+			MergeReadahead: 1, WriteBufferPages: 1, LegacyCompaction: true,
+		}
+		streamParams := Params{Fanout: 4, OptimalPLA: optimal}
+
+		// Shared source runs (built once; the builders under test consume
+		// their merged stream).
+		srcDir := t.TempDir()
+		var sources []*Run
+		for i, part := range splitSorted(entries, 3) {
+			r, err := Build(srcDir, uint64(i), int64(len(part)), streamParams, NewSliceIterator(part))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			sources = append(sources, r)
+		}
+
+		legacyDir, streamDir := t.TempDir(), t.TempDir()
+		itL := MergeRuns(sources)
+		legacyRun, err := Build(legacyDir, 9, int64(len(entries)), legacyParams, itL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer legacyRun.Close()
+		if err := itL.Err(); err != nil {
+			t.Fatal(err)
+		}
+		itS := MergeRuns(sources)
+		streamRun, err := Build(streamDir, 9, int64(len(entries)), streamParams, itS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer streamRun.Close()
+		if err := itS.Err(); err != nil {
+			t.Fatal(err)
+		}
+
+		if legacyRun.Digest() != streamRun.Digest() {
+			t.Fatalf("optimal=%v: run digests differ", optimal)
+		}
+		lf, sf := runFiles(t, legacyDir, 9), runFiles(t, streamDir, 9)
+		for ext, want := range lf {
+			if !bytes.Equal(sf[ext], want) {
+				t.Fatalf("optimal=%v: %s files differ (%d vs %d bytes)", optimal, ext, len(sf[ext]), len(want))
+			}
+		}
+
+		// The merged output also answers every read identically.
+		it := streamRun.Iter()
+		for i, want := range entries {
+			got, ok := it.Next()
+			if !ok || got != want {
+				t.Fatalf("optimal=%v: merged entry %d: got %v ok=%v", optimal, i, got, ok)
+			}
+		}
+		if _, ok := it.Next(); ok || it.Err() != nil {
+			t.Fatalf("optimal=%v: iterator did not end cleanly: %v", optimal, it.Err())
+		}
+	}
+}
+
+// TestMergePassthroughLeafHashes checks the hashed merge yields, for
+// every entry, exactly the leaf hash the destination MHT needs
+// (types.HashEntry), and that mixing in a non-hashed source degrades
+// Hashed() instead of corrupting anything.
+func TestMergePassthroughLeafHashes(t *testing.T) {
+	entries := genEntries(11, 300, 5)
+	dir := t.TempDir()
+	var sources []*Run
+	for i, part := range splitSorted(entries, 2) {
+		r, err := Build(dir, uint64(i), int64(len(part)), Params{Fanout: 4}, NewSliceIterator(part))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		sources = append(sources, r)
+	}
+	it := MergeRuns(sources)
+	if !it.Hashed() {
+		t.Fatal("merge of runs must be hashed")
+	}
+	for i := 0; ; i++ {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		h, err := it.LeafHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != types.HashEntry(e) {
+			t.Fatalf("entry %d: passthrough leaf hash != HashEntry", i)
+		}
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	mixed := Merge(sources[0].Iter(), NewSliceIterator(entries[:10]))
+	if mixed.Hashed() {
+		t.Fatal("merge with a slice source must not claim hashes")
+	}
+}
+
+// TestRunIterCacheIsolation proves a full streaming scan of a run (what
+// a concurrent level merge does to its sources) evicts nothing from the
+// run's point-read page cache.
+func TestRunIterCacheIsolation(t *testing.T) {
+	entries := genEntries(13, 3000, 4)
+	r := buildRun(t, entries, Params{Fanout: 4, CachePages: 4})
+
+	// Warm the cache with a few point lookups.
+	probes := []types.Address{
+		entries[0].Key.Addr, entries[len(entries)/2].Key.Addr, entries[len(entries)-1].Key.Addr,
+	}
+	for _, a := range probes {
+		if _, _, found, _, err := r.Get(a); err != nil || !found {
+			t.Fatalf("warm get: found=%v err=%v", found, err)
+		}
+	}
+	vWarm, iWarm := r.IOStats()
+
+	// The "merge": drain the run, hashes included.
+	it := r.Iter()
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		if _, err := it.LeafHash(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same lookups again: zero new physical page reads on either the
+	// value or the index file.
+	for _, a := range probes {
+		if _, _, found, _, err := r.Get(a); err != nil || !found {
+			t.Fatalf("re-get: found=%v err=%v", found, err)
+		}
+	}
+	vAfter, iAfter := r.IOStats()
+	if vAfter.PageReads != vWarm.PageReads || iAfter.PageReads != iWarm.PageReads {
+		t.Fatalf("streaming scan evicted cached pages: value %d->%d, index %d->%d physical reads",
+			vWarm.PageReads, vAfter.PageReads, iWarm.PageReads, iAfter.PageReads)
+	}
+	if vAfter.SeqReads == 0 {
+		t.Fatal("scan did not register sequential reads")
+	}
+}

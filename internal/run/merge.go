@@ -20,9 +20,19 @@ type ErrIterator interface {
 // corruption and fails downstream via the PLA builder's
 // strict-monotonicity check. This is the machinery behind level
 // sort-merges, snapshot exports, and offline resharding.
+//
+// The source that produced the last-yielded entry is advanced lazily, at
+// the start of the NEXT call to Next: between calls that source's most
+// recent entry is still its current one, so LeafHash can fetch the
+// entry's precomputed Merkle leaf hash from the source on demand —
+// consumers that never ask (exports) never pay the hash reads.
 type MergeIterator struct {
-	h   mergeHeap
-	err error
+	h      mergeHeap
+	hashed bool
+	// yielded reports whether h[0].cur was returned by the last Next and
+	// its source still needs advancing.
+	yielded bool
+	err     error
 }
 
 type mergeCursor struct {
@@ -46,8 +56,11 @@ func (h *mergeHeap) Pop() interface{} {
 
 // Merge returns an iterator over the union of the sorted sources.
 func Merge(sources ...Iterator) *MergeIterator {
-	m := &MergeIterator{}
+	m := &MergeIterator{hashed: true}
 	for _, src := range sources {
+		if h, ok := src.(HashedIterator); !ok || !h.Hashed() {
+			m.hashed = false
+		}
 		if e, ok := src.Next(); ok {
 			m.h = append(m.h, &mergeCursor{it: src, cur: e})
 		} else if err := sourceErr(src); err != nil {
@@ -77,22 +90,42 @@ func sourceErr(it Iterator) error {
 
 // Next implements Iterator.
 func (m *MergeIterator) Next() (types.Entry, bool) {
-	if m.err != nil || m.h.Len() == 0 {
+	if m.err != nil {
 		return types.Entry{}, false
 	}
-	top := m.h[0]
-	out := top.cur
-	if e, ok := top.it.Next(); ok {
-		top.cur = e
-		heap.Fix(&m.h, 0)
-	} else {
-		if err := sourceErr(top.it); err != nil {
-			m.err = err
-			return types.Entry{}, false
+	if m.yielded {
+		// Advance the source of the previously yielded entry (deferred so
+		// that LeafHash could still query it between Next calls).
+		m.yielded = false
+		top := m.h[0]
+		if e, ok := top.it.Next(); ok {
+			top.cur = e
+			heap.Fix(&m.h, 0)
+		} else {
+			if err := sourceErr(top.it); err != nil {
+				m.err = err
+				return types.Entry{}, false
+			}
+			heap.Pop(&m.h)
 		}
-		heap.Pop(&m.h)
 	}
-	return out, true
+	if m.h.Len() == 0 {
+		return types.Entry{}, false
+	}
+	m.yielded = true
+	return m.h[0].cur, true
+}
+
+// Hashed implements HashedIterator: true when every source carries
+// precomputed leaf hashes (all runs / spools; an export mixing L0 slice
+// iterators is not hashed).
+func (m *MergeIterator) Hashed() bool { return m.hashed }
+
+// LeafHash returns the precomputed Merkle leaf hash of the entry most
+// recently returned by Next, fetched from the source that produced it.
+// Only valid on a Hashed merge, until the next call to Next.
+func (m *MergeIterator) LeafHash() (types.Hash, error) {
+	return m.h[0].it.(HashedIterator).LeafHash()
 }
 
 // Err reports a read failure from any source.

@@ -38,6 +38,21 @@ type Iterator interface {
 	Next() (e types.Entry, ok bool)
 }
 
+// HashedIterator is an Iterator that can also supply each entry's Merkle
+// leaf hash h(K‖value) from a precomputed source (a run's .mrk file, a
+// reshard spool). Build uses it to skip re-hashing every entry during
+// level merges and bulk installs: the leaf hashes a source run stores
+// are by construction exactly the digests the destination's MHT needs.
+type HashedIterator interface {
+	Iterator
+	// Hashed reports whether LeafHash is available for every entry this
+	// iterator yields (a merge of mixed sources is not).
+	Hashed() bool
+	// LeafHash returns the leaf hash of the entry most recently returned
+	// by Next. Valid only until the next call to Next.
+	LeafHash() (types.Hash, error)
+}
+
 // SliceIterator adapts a sorted entry slice.
 type SliceIterator struct {
 	entries []types.Entry
@@ -65,11 +80,27 @@ type Params struct {
 	Fanout     int     // MHT fanout m (must be ≥ 2)
 	BloomFP    float64 // bloom false-positive target (0.01 if 0)
 	CachePages int     // per-file page cache (16 if 0)
+	// MergeReadahead is the window, in pages, that streaming run readers
+	// (Iter: level merges, exports, reshard sources) fetch per syscall,
+	// bypassing the point-read page cache. Default 256 (~1 MiB at 4 KiB
+	// pages).
+	MergeReadahead int
+	// WriteBufferPages is how many pages run builders coalesce per write
+	// syscall. Default 256 (~1 MiB at 4 KiB pages). Any value produces
+	// byte-identical files.
+	WriteBufferPages int
 	// OptimalPLA selects the exact convex-hull segment construction
 	// (pla.OptimalBuilder) instead of the default greedy cone: fewer
 	// models per run at a higher build cost. Both produce identical
 	// on-disk formats, so the flag only matters at build time.
 	OptimalPLA bool
+	// LegacyCompaction reverts Build's per-entry CPU path to the
+	// pre-streaming behavior: every Merkle leaf hash is recomputed even
+	// when the source supplies precomputed ones, and every entry re-hashes
+	// the Bloom base digest instead of taking the consecutive-version fast
+	// path. An ablation knob for the compaction benchmark; the output
+	// files are byte-identical either way.
+	LegacyCompaction bool
 }
 
 // segmentBuilder abstracts the two PLA constructions.
@@ -94,6 +125,12 @@ func (p Params) withDefaults() Params {
 	}
 	if p.CachePages == 0 {
 		p.CachePages = 16
+	}
+	if p.MergeReadahead == 0 {
+		p.MergeReadahead = pagefile.DefaultReadaheadPages
+	}
+	if p.WriteBufferPages == 0 {
+		p.WriteBufferPages = pagefile.DefaultWriteBufferPages
 	}
 	return p
 }
@@ -152,16 +189,25 @@ func Build(dir string, id uint64, count int64, params Params, src Iterator) (*Ru
 		return nil, fmt.Errorf("run: empty runs are not built (count=%d)", count)
 	}
 
-	valW, err := pagefile.CreateWriter(valuePath(dir, id), params.PageSize, types.EntrySize)
+	// Cap the coalescing buffers at the value file's own page count: a
+	// small run (an L0 flush, a shallow level) should not pay a ~1 MiB
+	// allocation per file to save syscalls it will never issue. The
+	// index and Merkle files are never larger than the value file.
+	wbufPages := params.WriteBufferPages
+	if vp := (count + int64(pagefile.PerPage(params.PageSize, types.EntrySize)) - 1) /
+		int64(pagefile.PerPage(params.PageSize, types.EntrySize)); int64(wbufPages) > vp {
+		wbufPages = int(vp)
+	}
+	valW, err := pagefile.CreateWriterSize(valuePath(dir, id), params.PageSize, types.EntrySize, wbufPages)
 	if err != nil {
 		return nil, err
 	}
-	idxW, err := pagefile.CreateWriter(indexPath(dir, id), params.PageSize, pla.ModelSize)
+	idxW, err := pagefile.CreateWriterSize(indexPath(dir, id), params.PageSize, pla.ModelSize, wbufPages)
 	if err != nil {
 		valW.Abort()
 		return nil, err
 	}
-	mrkW, err := mht.CreateWriter(merklePath(dir, id), count, params.Fanout)
+	mrkW, err := mht.CreateWriterSize(merklePath(dir, id), count, params.Fanout, wbufPages*params.PageSize)
 	if err != nil {
 		valW.Abort()
 		idxW.Abort()
@@ -200,12 +246,27 @@ func Build(dir string, id uint64, count int64, params Params, src Iterator) (*Ru
 		return nil, err
 	}
 
+	// Leaf-hash passthrough: when the source can replay precomputed leaf
+	// hashes (a run's .mrk file, a reshard spool, or a merge of such
+	// sources), consume them instead of re-running SHA-256 over every
+	// entry. L0 flushes arrive as plain slice iterators — no Merkle file
+	// exists yet — and keep hashing. The output is byte-identical either
+	// way: a stored leaf hash IS types.HashEntry of its entry.
+	var hashSrc HashedIterator
+	if h, ok := src.(HashedIterator); ok && h.Hashed() && !params.LegacyCompaction {
+		hashSrc = h
+	}
+
 	entryBuf := make([]byte, types.EntrySize)
 	for {
 		e, ok := src.Next()
 		if !ok {
 			break
 		}
+		// Consecutive versions of one address are adjacent in compound-key
+		// order; the filter insert is idempotent, so only the first needs
+		// the SHA-256 base hashes.
+		sameAddr := seen > 0 && e.Key.Addr == maxKey.Addr && !params.LegacyCompaction
 		if seen == 0 {
 			minKey = e.Key
 		}
@@ -219,11 +280,24 @@ func Build(dir string, id uint64, count int64, params Params, src Iterator) (*Ru
 			abort()
 			return nil, err
 		}
-		if err := mrkW.Add(types.HashEntry(e)); err != nil {
+		var leaf types.Hash
+		if hashSrc != nil {
+			if leaf, err = hashSrc.LeafHash(); err != nil {
+				abort()
+				return nil, err
+			}
+		} else {
+			leaf = types.HashEntry(e)
+		}
+		if err := mrkW.Add(leaf); err != nil {
 			abort()
 			return nil, err
 		}
-		filter.Add(e.Key.Addr)
+		if sameAddr {
+			filter.AddRepeat()
+		} else {
+			filter.Add(e.Key.Addr)
+		}
 		seen++
 	}
 	if seen != count {
@@ -422,22 +496,41 @@ func (r *Run) Models() int64 {
 }
 
 // Iter returns a sequential iterator over the run's entries in key order
-// (used by level sort-merges). Read errors surface through Err.
-func (r *Run) Iter() *RunIterator { return &RunIterator{r: r} }
+// (used by level sort-merges, exports, and reshard). It streams through
+// a private readahead buffer (Params.MergeReadahead pages per syscall)
+// that bypasses the run's point-read page cache entirely: a background
+// merge scanning this run evicts nothing from concurrent readers' caches
+// and takes no per-record lock. Read errors surface through Err.
+func (r *Run) Iter() *RunIterator {
+	return &RunIterator{r: r, sr: r.values.SequentialReader(r.params.MergeReadahead)}
+}
 
-// RunIterator streams a run's entries.
+// RunIterator streams a run's entries, and — on demand — the Merkle leaf
+// hashes stored alongside them (HashedIterator): consumers that build a
+// destination run reuse the precomputed hashes; consumers that only need
+// the entries (exports) never touch the Merkle file.
 type RunIterator struct {
-	r   *Run
-	pos int64
-	err error
+	r      *Run
+	sr     *pagefile.SequentialReader
+	leaves *mht.LeafReader // lazily opened on first LeafHash
+	pos    int64           // entries yielded so far
+	err    error
 }
 
 // Next implements Iterator.
 func (it *RunIterator) Next() (types.Entry, bool) {
-	if it.err != nil || it.pos >= it.r.count {
+	if it.err != nil {
 		return types.Entry{}, false
 	}
-	e, err := it.r.EntryAt(it.pos)
+	rec, ok, err := it.sr.Next()
+	if err != nil {
+		it.err = err
+		return types.Entry{}, false
+	}
+	if !ok {
+		return types.Entry{}, false
+	}
+	e, err := types.DecodeEntry(rec)
 	if err != nil {
 		it.err = err
 		return types.Entry{}, false
@@ -446,13 +539,27 @@ func (it *RunIterator) Next() (types.Entry, bool) {
 	return e, true
 }
 
+// Hashed implements HashedIterator: every run stores its leaf hashes.
+func (it *RunIterator) Hashed() bool { return true }
+
+// LeafHash returns the stored Merkle leaf hash of the entry most
+// recently returned by Next, read through a readahead window of the
+// run's .mrk file.
+func (it *RunIterator) LeafHash() (types.Hash, error) {
+	if it.leaves == nil {
+		it.leaves = it.r.merkle.LeafStream(it.r.params.MergeReadahead * it.r.params.PageSize)
+	}
+	return it.leaves.At(it.pos - 1)
+}
+
 // Err reports a read failure that terminated the iterator early.
 func (it *RunIterator) Err() error { return it.err }
 
-// EntryAt reads the entry at a value-file position.
+// EntryAt reads the entry at a value-file position through the run's
+// page cache (the point-read path; decoded immediately, so the cached
+// page is never copied).
 func (r *Run) EntryAt(pos int64) (types.Entry, error) {
-	var buf [types.EntrySize]byte
-	rec, err := r.values.Record(pos, buf[:])
+	rec, err := r.values.RecordView(pos)
 	if err != nil {
 		return types.Entry{}, err
 	}

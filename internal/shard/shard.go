@@ -971,6 +971,11 @@ func (s *Store) Stats() core.Stats {
 		st.Merges += es.Merges
 		st.BloomSkips += es.BloomSkips
 		st.MergeWaits += es.MergeWaits
+		st.FlushBytes += es.FlushBytes
+		st.MergeBytes += es.MergeBytes
+		st.MergeNanos += es.MergeNanos
+		st.PageReads += es.PageReads
+		st.CacheHits += es.CacheHits
 	}
 	return st
 }
