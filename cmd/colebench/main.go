@@ -8,10 +8,12 @@
 //	colebench -exp shardscale -shards 8
 //	colebench -exp mergesched -merge-workers 8
 //	colebench -exp readscale -readers 8
+//	colebench -exp workloads -duration 5s -conc 8 -shards 4
 //	colebench -exp all -json results.json
 //
 // Experiments: fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1
-// mptbreakdown shardscale mergesched readscale reshard compaction all.
+// mptbreakdown shardscale mergesched readscale reshard compaction
+// workloads all.
 // -shards N
 // runs the COLE systems of any experiment over an N-shard store; for
 // shardscale (and the reshard target sweep) it sets the top of the
@@ -23,6 +25,16 @@
 // the shardscale/mergesched sweeps always batch); -json writes every
 // table (with raw measurements, including merge waits, per-shard write
 // counts, and read-scaling TPS) to a machine-readable report.
+//
+// The workloads experiment drives the open-loop harness over the
+// pluggable workload matrix (uniform, zipfian, hotaccount × read mixes ×
+// COLE/COLE* × shard counts, every variant behind the cole.DB interface)
+// and reports per-op latency percentiles plus write/read/space
+// amplification. Its traffic knobs: -duration and -warmup set the
+// measured and unrecorded window lengths, -conc the concurrent reader
+// count, -keys the key population (default: the scale preset's record
+// count), -rate a target ops/s arrival rate (0 = closed loop), and
+// -shards adds a sharded column next to the single-store one.
 package main
 
 import (
@@ -36,20 +48,25 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: fig9..fig15, table1, mptbreakdown, all")
-		scale   = flag.String("scale", "quick", "preset scale: quick | lab | paper")
-		blocks  = flag.Int("blocks", 0, "override block count")
-		tx      = flag.Int("tx", 0, "override transactions per block (paper: 100)")
-		memcap  = flag.Int("memcap", 0, "override COLE in-memory capacity B (entries)")
-		ratio   = flag.Int("ratio", 0, "override size ratio T")
-		fanout  = flag.Int("fanout", 0, "override MHT fanout m")
-		shards  = flag.Int("shards", 0, "COLE shard count (shardscale: top of the 1,2,4,... sweep)")
-		readers = flag.Int("readers", 0, "readscale: top of the 1,2,4,... reader-goroutine sweep (default 8)")
-		workers = flag.Int("merge-workers", 0, "shared merge worker budget, 0 = GOMAXPROCS (mergesched: top of the 1,2,4,... sweep)")
-		batch   = flag.Bool("batch", false, "apply each block's writes as one PutBatch (COLE systems only; shardscale/mergesched always batch)")
-		jsonOut = flag.String("json", "", "also write a machine-readable report (tables + raw measurements) to this path")
-		scratch = flag.String("scratch", "", "scratch directory (default: system temp)")
-		seed    = flag.Int64("seed", 42, "workload seed")
+		exp      = flag.String("exp", "all", "experiment id: fig9..fig15, table1, mptbreakdown, shardscale, mergesched, readscale, reshard, compaction, workloads, all")
+		scale    = flag.String("scale", "quick", "preset scale: quick | lab | paper")
+		blocks   = flag.Int("blocks", 0, "override block count")
+		tx       = flag.Int("tx", 0, "override transactions per block (paper: 100)")
+		memcap   = flag.Int("memcap", 0, "override COLE in-memory capacity B (entries)")
+		ratio    = flag.Int("ratio", 0, "override size ratio T")
+		fanout   = flag.Int("fanout", 0, "override MHT fanout m")
+		shards   = flag.Int("shards", 0, "COLE shard count (shardscale: top of the 1,2,4,... sweep)")
+		readers  = flag.Int("readers", 0, "readscale: top of the 1,2,4,... reader-goroutine sweep (default 8)")
+		workers  = flag.Int("merge-workers", 0, "shared merge worker budget, 0 = GOMAXPROCS (mergesched: top of the 1,2,4,... sweep)")
+		batch    = flag.Bool("batch", false, "apply each block's writes as one PutBatch (COLE systems only; shardscale/mergesched always batch)")
+		jsonOut  = flag.String("json", "", "also write a machine-readable report (tables + raw measurements) to this path")
+		scratch  = flag.String("scratch", "", "scratch directory (default: system temp)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		duration = flag.Duration("duration", 0, "workloads: measured open-loop window per cell (default 2s)")
+		warmup   = flag.Duration("warmup", 0, "workloads: unrecorded warm-up before the window (default 200ms)")
+		conc     = flag.Int("conc", 0, "workloads: concurrent reader goroutines (default 4)")
+		keys     = flag.Int("keys", 0, "workloads: key population (default: the scale preset's record count)")
+		rate     = flag.Float64("rate", 0, "workloads: target arrival rate in ops/s (0 = closed loop)")
 	)
 	flag.Parse()
 
@@ -75,6 +92,19 @@ func main() {
 	cfg.MergeWorkers = *workers
 	cfg.Batched = *batch
 	cfg.Seed = *seed
+	if *duration > 0 {
+		cfg.Duration = *duration
+	}
+	if *warmup > 0 {
+		cfg.WarmUp = *warmup
+	}
+	if *conc > 0 {
+		cfg.Concurrency = *conc
+	}
+	if *keys > 0 {
+		cfg.Keys = *keys
+	}
+	cfg.Rate = *rate
 	prov.ScratchDir = *scratch
 
 	var tables []*bench.Table
@@ -186,6 +216,14 @@ func main() {
 		})
 		any = true
 	}
+	if all || *exp == "workloads" {
+		// The matrix sweeps its own shard axis ({1} plus -shards when
+		// set); the distribution × mix axis is the default spec set.
+		run("workloads", func() (*bench.Table, error) {
+			return bench.Workloads(cfg, nil, nil, *scratch)
+		})
+		any = true
+	}
 	if all || *exp == "readscale" {
 		// Single-shard by design: the sweep isolates read-path scaling
 		// from shard parallelism.
@@ -229,13 +267,13 @@ func powerSweep(max, def int) []int {
 func preset(scale string) (bench.Config, []int, bench.ProvOptions) {
 	switch scale {
 	case "paper":
-		cfg := bench.Config{TxPerBlock: 100, Accounts: 100_000, Records: 100_000, MemCap: 262_144, MemBytes: 64 << 20}
+		cfg := bench.NewConfig(bench.Params{TxPerBlock: 100, Accounts: 100_000, Records: 100_000, MemCap: 262_144, MemBytes: 64 << 20})
 		return cfg, []int{100, 1000, 10_000}, bench.ProvOptions{Blocks: 10_000, Queries: 50}
 	case "lab":
-		cfg := bench.Config{TxPerBlock: 100, Accounts: 10_000, Records: 10_000, MemCap: 16_384, MemBytes: 8 << 20}
+		cfg := bench.NewConfig(bench.Params{TxPerBlock: 100, Accounts: 10_000, Records: 10_000, MemCap: 16_384, MemBytes: 8 << 20})
 		return cfg, []int{50, 200, 1000}, bench.ProvOptions{Blocks: 1000, Queries: 30}
 	default: // quick
-		cfg := bench.Config{TxPerBlock: 50, Accounts: 1000, Records: 1000, MemCap: 2048, MemBytes: 1 << 20}
+		cfg := bench.NewConfig(bench.Params{TxPerBlock: 50, Accounts: 1000, Records: 1000, MemCap: 2048, MemBytes: 1 << 20})
 		return cfg, []int{25, 100, 300}, bench.ProvOptions{Blocks: 300, Queries: 15}
 	}
 }

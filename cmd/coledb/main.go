@@ -90,6 +90,11 @@ func main() {
 	}
 	defer store.Close()
 
+	// The data commands drive the store purely through the backend-
+	// agnostic cole.DB interface; only the shard-aware output (stat's
+	// balance table, prov's shard column) needs the concrete handle.
+	var db cole.DB = store
+
 	switch args[0] {
 	case "put":
 		if len(args) < 3 {
@@ -109,17 +114,17 @@ func main() {
 				Value: cole.ValueFromBytes([]byte(parts[1])),
 			})
 		}
-		if err := store.BeginBlock(h); err != nil {
+		if err := db.BeginBlock(h); err != nil {
 			fail("begin block: %v", err)
 		}
-		if err := store.PutBatch(batch); err != nil {
+		if err := db.PutBatch(batch); err != nil {
 			fail("put: %v", err)
 		}
-		root, err := store.Commit()
+		root, err := db.Commit()
 		if err != nil {
 			fail("commit: %v", err)
 		}
-		if err := store.FlushAll(); err != nil {
+		if err := db.FlushAll(); err != nil {
 			fail("flush: %v", err)
 		}
 		fmt.Printf("block %d committed, Hstate=%s\n", h, root)
@@ -127,7 +132,7 @@ func main() {
 		if len(args) != 2 {
 			fail("get <addr>")
 		}
-		v, ok, err := store.Get(cole.AddressFromString(args[1]))
+		v, ok, err := db.Get(cole.AddressFromString(args[1]))
 		if err != nil {
 			fail("get: %v", err)
 		}
@@ -147,7 +152,7 @@ func main() {
 		// A snapshot pins one committed height so every address of the
 		// batch is answered from the same consistent state, even on a
 		// multi-shard store.
-		snap := store.Snapshot()
+		snap := db.Snapshot()
 		defer snap.Release()
 		res, err := snap.GetBatch(addrs)
 		if err != nil {
@@ -165,7 +170,7 @@ func main() {
 		if len(args) != 3 {
 			fail("getat <addr> <height>")
 		}
-		v, blk, ok, err := store.GetAt(cole.AddressFromString(args[1]), parseU64(args[2]))
+		v, blk, ok, err := db.GetAt(cole.AddressFromString(args[1]), parseU64(args[2]))
 		if err != nil {
 			fail("getat: %v", err)
 		}
@@ -201,7 +206,7 @@ func main() {
 		// One pinned snapshot: the dump is a consistent full export
 		// (every retained version of every address, sorted by
 		// ⟨address, block⟩) even while the store keeps committing.
-		n, err := store.Export(func(a cole.Address, blk uint64, v cole.Value) error {
+		n, err := db.Export(func(a cole.Address, blk uint64, v cole.Value) error {
 			_, werr := fmt.Printf("%s %d %s\n", a, blk, renderValue(v))
 			return werr
 		})

@@ -96,6 +96,71 @@ func ValueFromUint64(x uint64) Value { return types.ValueFromUint64(x) }
 // oversized input).
 func ValueFromBytes(b []byte) Value { return types.ValueFromBytes(b) }
 
+// DB is the unified store surface: every operation a workload driver,
+// tool, or embedder needs, implemented by both Store (one engine) and
+// ShardedStore (hash-partitioned engines). Code written against DB runs
+// unchanged over any backend — the benchmark harness drives every
+// system × shard-count combination through this one type, and the same
+// holds for CLIs and services layered on the store.
+//
+// Provenance goes through Prov, whose proof handle is verified via
+// ProvProof.Verify; callers that need the concrete proof structure (to
+// serialize it, or to inspect shard routing) keep using the typed
+// ProvQuery methods on the concrete store types.
+type DB interface {
+	// BeginBlock starts block `height` (monotone; COLE does not fork).
+	BeginBlock(height uint64) error
+	// Put writes a state update into the open block.
+	Put(addr Address, v Value) error
+	// PutBatch applies a block's updates under one lock acquisition.
+	PutBatch(updates []Update) error
+	// Commit seals the open block and returns the state root digest.
+	Commit() (Hash, error)
+	// Get returns the latest committed value of addr (lock-free).
+	Get(addr Address) (Value, bool, error)
+	// GetAt returns the value of addr active at block height blk.
+	GetAt(addr Address, blk uint64) (Value, uint64, bool, error)
+	// GetBatch resolves many point lookups against one committed state.
+	GetBatch(addrs []Address) ([]ReadResult, error)
+	// Snapshot pins the current committed state for consistent reads.
+	Snapshot() Snapshot
+	// Prov answers a provenance query with a verifiable proof handle.
+	Prov(addr Address, blkLo, blkHi uint64) ([]Version, ProvProof, error)
+	// Export streams every live entry, sorted by ⟨address, height⟩.
+	Export(fn func(addr Address, blk uint64, v Value) error) (int64, error)
+	// RootDigest returns the current state root digest.
+	RootDigest() Hash
+	// Height returns the last committed block height.
+	Height() uint64
+	// CheckpointHeight returns the recovery point (§4.3).
+	CheckpointHeight() uint64
+	// Storage reports the on-disk footprint.
+	Storage() StorageBreakdown
+	// Stats returns engine counters.
+	Stats() Stats
+	// FlushAll persists the in-memory level for a clean shutdown.
+	FlushAll() error
+	// Close joins background work and releases resources.
+	Close() error
+}
+
+// Both store types present the full unified surface.
+var (
+	_ DB = (*Store)(nil)
+	_ DB = (*ShardedStore)(nil)
+)
+
+// ProvProof is a backend-independent provenance proof handle: the
+// single-engine Merkle proof or the sharded proof (inner proof plus the
+// shard-root path), checked the same way either way.
+type ProvProof interface {
+	// Verify checks the proof against the root digest published in a
+	// block header and returns the authenticated versions, newest first.
+	Verify(hstate Hash, addr Address, blkLo, blkHi uint64) ([]Version, error)
+	// Size approximates the proof's wire size in bytes.
+	Size() int
+}
+
 // Store is a COLE storage engine instance.
 type Store struct {
 	engine *core.Engine
@@ -170,6 +235,17 @@ func (s *Store) Snapshot() Snapshot { return s.engine.Snapshot() }
 // (newest first) and a proof verifiable against the current root digest.
 func (s *Store) ProvQuery(addr Address, blkLo, blkHi uint64) ([]Version, *Proof, error) {
 	return s.engine.ProvQuery(addr, blkLo, blkHi)
+}
+
+// Prov is the backend-independent form of ProvQuery (the DB interface):
+// the same versions and proof, behind the ProvProof handle.
+func (s *Store) Prov(addr Address, blkLo, blkHi uint64) ([]Version, ProvProof, error) {
+	versions, proof, err := s.ProvQuery(addr, blkLo, blkHi)
+	if proof == nil {
+		// Avoid a typed-nil inside the interface on error paths.
+		return versions, nil, err
+	}
+	return versions, proof, err
 }
 
 // Export streams every live entry of the store — all retained versions
@@ -328,6 +404,17 @@ func (s *ShardedStore) Snapshot() Snapshot { return s.store.Snapshot() }
 // (newest first) and a proof verifiable against the combined digest.
 func (s *ShardedStore) ProvQuery(addr Address, blkLo, blkHi uint64) ([]Version, *ShardProof, error) {
 	return s.store.ProvQuery(addr, blkLo, blkHi)
+}
+
+// Prov is the backend-independent form of ProvQuery (the DB interface):
+// the same versions and proof, behind the ProvProof handle.
+func (s *ShardedStore) Prov(addr Address, blkLo, blkHi uint64) ([]Version, ProvProof, error) {
+	versions, proof, err := s.ProvQuery(addr, blkLo, blkHi)
+	if proof == nil {
+		// Avoid a typed-nil inside the interface on error paths.
+		return versions, nil, err
+	}
+	return versions, proof, err
 }
 
 // Export streams every live entry of all shards, globally sorted by

@@ -298,3 +298,108 @@ func TestSnapshotFacade(t *testing.T) {
 		})
 	}
 }
+
+// TestDBInterfaceBothBackends drives the full unified surface through
+// cole.DB for both implementations: the same code path exercises a
+// single-engine Store and a ShardedStore, including a provenance query
+// verified through the backend-independent ProvProof handle.
+func TestDBInterfaceBothBackends(t *testing.T) {
+	open := map[string]func(dir string) (cole.DB, error){
+		"store": func(dir string) (cole.DB, error) {
+			return cole.Open(cole.Options{Dir: dir, MemCapacity: 32, SizeRatio: 2})
+		},
+		"sharded": func(dir string) (cole.DB, error) {
+			return cole.OpenSharded(cole.Options{Dir: dir, MemCapacity: 32, SizeRatio: 2, Shards: 2})
+		},
+	}
+	for name, openDB := range open {
+		t.Run(name, func(t *testing.T) {
+			db, err := openDB(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+
+			addrs := make([]cole.Address, 8)
+			for i := range addrs {
+				addrs[i] = cole.AddressFromString("db-iface-" + string(rune('a'+i)))
+			}
+			var root cole.Hash
+			for h := uint64(1); h <= 30; h++ {
+				if err := db.BeginBlock(h); err != nil {
+					t.Fatal(err)
+				}
+				updates := make([]cole.Update, len(addrs))
+				for i, a := range addrs {
+					updates[i] = cole.Update{Addr: a, Value: cole.ValueFromUint64(h*10 + uint64(i))}
+				}
+				if err := db.PutBatch(updates); err != nil {
+					t.Fatal(err)
+				}
+				if root, err = db.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if db.Height() != 30 || db.RootDigest() != root {
+				t.Fatalf("height %d, digest drift %v", db.Height(), db.RootDigest() != root)
+			}
+
+			if v, ok, err := db.Get(addrs[3]); err != nil || !ok || v.Uint64() != 303 {
+				t.Fatalf("get: %v %v %v", v.Uint64(), ok, err)
+			}
+			if v, at, ok, err := db.GetAt(addrs[0], 7); err != nil || !ok || at != 7 || v.Uint64() != 70 {
+				t.Fatalf("getat: %v %v %v %v", v.Uint64(), at, ok, err)
+			}
+			res, err := db.GetBatch(addrs)
+			if err != nil || len(res) != len(addrs) || !res[7].Found || res[7].Value.Uint64() != 307 {
+				t.Fatalf("getbatch: %v %v", res, err)
+			}
+			snap := db.Snapshot()
+			if snap.Height() != 30 {
+				t.Fatalf("snapshot height %d", snap.Height())
+			}
+			snap.Release()
+
+			versions, proof, err := db.Prov(addrs[1], 10, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(versions) != 11 {
+				t.Fatalf("%d versions", len(versions))
+			}
+			verified, err := proof.Verify(root, addrs[1], 10, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(verified) != 11 || verified[0].Blk != 20 {
+				t.Fatalf("verified: %v", verified)
+			}
+			if proof.Size() <= 0 {
+				t.Fatal("proof size must be positive")
+			}
+			if _, err := proof.Verify(cole.Hash{}, addrs[1], 10, 20); err == nil {
+				t.Fatal("proof verified against a wrong digest")
+			}
+
+			var exported int64
+			if exported, err = db.Export(func(a cole.Address, blk uint64, v cole.Value) error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+			if exported != int64(30*len(addrs)) {
+				t.Fatalf("exported %d entries", exported)
+			}
+			if st := db.Stats(); st.Puts != int64(30*len(addrs)) {
+				t.Fatalf("stats puts %d", st.Puts)
+			}
+			if err := db.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			if sb := db.Storage(); sb.Entries != int64(30*len(addrs)) {
+				t.Fatalf("storage entries %d", sb.Entries)
+			}
+			if db.CheckpointHeight() > db.Height() {
+				t.Fatal("checkpoint above height")
+			}
+		})
+	}
+}

@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	cfg := bench.Config{
+	cfg := bench.NewConfig(bench.Params{
 		Blocks:     150,
 		TxPerBlock: 100,
 		Accounts:   2000,
@@ -24,7 +24,7 @@ func main() {
 		SizeRatio:  4,
 		Fanout:     4,
 		Seed:       5,
-	}
+	})
 
 	fmt.Printf("workload: SmallBank, %d blocks × %d tx\n\n", cfg.Blocks, cfg.TxPerBlock)
 

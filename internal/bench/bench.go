@@ -17,6 +17,7 @@ import (
 	"cole/internal/chain"
 	"cole/internal/core"
 	"cole/internal/kvstore"
+	"cole/internal/workload"
 )
 
 // System identifies a storage engine under test.
@@ -40,21 +41,16 @@ const (
 	WorkloadKVStore   Workload = "kvstore"
 )
 
-// Config scales an experiment. Paper-scale values are 100 tx/block and up
-// to 10^5 blocks; defaults here are laptop-scale and every knob can be
-// raised.
-type Config struct {
-	Blocks     int     // number of blocks to execute
-	TxPerBlock int     // transactions per block (paper: 100)
-	Accounts   int     // SmallBank account population
-	Records    int     // KVStore record population
-	Mix        int     // KVStore mix: 0 RW, 1 RO, 2 WO (workload.Mix)
-	MemCap     int     // COLE B (entries per L0 group)
-	MemBytes   int     // kvstore write buffer for baselines
-	SizeRatio  int     // T
-	Fanout     int     // m
-	BloomFP    float64 // bloom false-positive target
-	Shards     int     // COLE shard count (0/1 = single engine)
+// SystemSpec configures the storage engine under test, independent of
+// the traffic driven through it: partitioning, merge scheduling, the
+// write pipeline, the compaction IO mode, and the structural parameters.
+type SystemSpec struct {
+	MemCap    int     // COLE B (entries per L0 group)
+	MemBytes  int     // kvstore write buffer for baselines
+	SizeRatio int     // T
+	Fanout    int     // m
+	BloomFP   float64 // bloom false-positive target
+	Shards    int     // COLE shard count (0/1 = single engine)
 	// MergeWorkers bounds the shared background merge pool for the COLE
 	// systems (0 = GOMAXPROCS); the budget spans every level of every
 	// shard.
@@ -63,7 +59,70 @@ type Config struct {
 	// (chain.Batched → PutBatch) instead of per-update Put calls.
 	// Digests are identical either way.
 	Batched bool
-	Seed    int64
+	// IOMode selects the merge/build data path: "" or "streaming" is the
+	// full streaming pipeline, "legacy" reverts to per-entry hashing and
+	// one-page IO granularity (run files stay byte-identical either way).
+	IOMode string
+}
+
+// Config scales an experiment: the engine under test (SystemSpec), the
+// declarative workload (workload.Spec — key population, distribution,
+// mix, duration, concurrency, seed), and the paper experiments'
+// closed-loop knobs. Both parts are embedded, so experiment code reads
+// cfg.Shards or cfg.Seed directly; literal construction goes through
+// NewConfig. Paper-scale values are 100 tx/block and up to 10^5 blocks;
+// defaults are laptop-scale and every knob can be raised.
+type Config struct {
+	SystemSpec
+	workload.Spec
+
+	Blocks   int // number of blocks to execute (closed-loop experiments)
+	Accounts int // SmallBank account population
+	Records  int // KVStore record population
+	Mix      int // KVStore mix: 0 RW, 1 RO, 2 WO (workload.Mix)
+}
+
+// Params is the flat knob set Config grew from, kept as the compatibility
+// constructor input: the paper-replication experiments and their callers
+// keep building configurations from these names while the structured
+// Config feeds the workload matrix.
+type Params struct {
+	Blocks       int
+	TxPerBlock   int
+	Accounts     int
+	Records      int
+	Mix          int
+	MemCap       int
+	MemBytes     int
+	SizeRatio    int
+	Fanout       int
+	BloomFP      float64
+	Shards       int
+	MergeWorkers int
+	Batched      bool
+	Seed         int64
+}
+
+// NewConfig lifts the legacy flat parameter set into the structured
+// Config (system knobs into SystemSpec, traffic knobs into the embedded
+// workload.Spec).
+func NewConfig(p Params) Config {
+	return Config{
+		SystemSpec: SystemSpec{
+			MemCap: p.MemCap, MemBytes: p.MemBytes,
+			SizeRatio: p.SizeRatio, Fanout: p.Fanout, BloomFP: p.BloomFP,
+			Shards: p.Shards, MergeWorkers: p.MergeWorkers, Batched: p.Batched,
+		},
+		Spec: workload.Spec{
+			TxPerBlock: p.TxPerBlock,
+			Keys:       p.Records,
+			Seed:       p.Seed,
+		},
+		Blocks:   p.Blocks,
+		Accounts: p.Accounts,
+		Records:  p.Records,
+		Mix:      p.Mix,
+	}
 }
 
 // Defaults fills unset fields with laptop-scale values.
@@ -95,6 +154,10 @@ func (c Config) Defaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 42
 	}
+	if c.Keys == 0 {
+		c.Keys = c.Records
+	}
+	c.Spec = c.Spec.WithDefaults()
 	return c
 }
 
@@ -178,7 +241,18 @@ type Result struct {
 	MergeMBps  float64 `json:",omitempty"`
 	PageReads  int64   `json:",omitempty"`
 	CacheHits  int64   `json:",omitempty"`
-	blockLats  []time.Duration
+	// Open-loop workload measurements (the workloads experiment): the
+	// shard count of the store under test, the per-class operation
+	// counts of the measured window, the per-op read and per-block
+	// commit latency ladders, and the amplification report derived from
+	// the engine's own counters.
+	Shards    int            `json:",omitempty"`
+	ReadOps   int64          `json:",omitempty"`
+	WriteOps  int64          `json:",omitempty"`
+	ReadLat   *HistSummary   `json:",omitempty"`
+	CommitLat *HistSummary   `json:",omitempty"`
+	Amp       *Amplification `json:",omitempty"`
+	blockLats []time.Duration
 }
 
 // backendHandle couples a backend with its measurement hooks.
@@ -196,14 +270,15 @@ func openSystem(sys System, dir string, cfg Config) (*backendHandle, error) {
 	switch sys {
 	case SysCOLE, SysCOLEAsync:
 		o := core.Options{
-			Dir:          dir,
-			MemCapacity:  cfg.MemCap,
-			SizeRatio:    cfg.SizeRatio,
-			Fanout:       cfg.Fanout,
-			BloomFP:      cfg.BloomFP,
-			AsyncMerge:   sys == SysCOLEAsync,
-			Shards:       cfg.Shards,
-			MergeWorkers: cfg.MergeWorkers,
+			Dir:              dir,
+			MemCapacity:      cfg.MemCap,
+			SizeRatio:        cfg.SizeRatio,
+			Fanout:           cfg.Fanout,
+			BloomFP:          cfg.BloomFP,
+			AsyncMerge:       sys == SysCOLEAsync,
+			Shards:           cfg.Shards,
+			MergeWorkers:     cfg.MergeWorkers,
+			LegacyCompaction: cfg.IOMode == "legacy",
 		}
 		// The batched pipeline buffers each block and lands it as one
 		// PutBatch; digests are unchanged, so it is purely a perf knob.

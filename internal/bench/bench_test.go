@@ -11,7 +11,7 @@ import (
 
 // tiny returns a configuration small enough for unit testing the harness.
 func tiny() Config {
-	return Config{
+	return NewConfig(Params{
 		Blocks:     12,
 		TxPerBlock: 10,
 		Accounts:   50,
@@ -21,7 +21,7 @@ func tiny() Config {
 		SizeRatio:  2,
 		Fanout:     4,
 		Seed:       1,
-	}
+	})
 }
 
 func TestSummarize(t *testing.T) {

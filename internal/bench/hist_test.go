@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// refPercentile is the exact percentile the histogram approximates: the
+// smallest sample with at least rank(p) samples at or below it.
+func refPercentile(sorted []time.Duration, p float64) time.Duration {
+	rank := int(p*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// within asserts got is within the histogram's quantization bound of
+// want: one sub-bucket of relative error plus one nanosecond.
+func within(t *testing.T, label string, got, want time.Duration) {
+	t.Helper()
+	lo := want - want/histSubCount - 1
+	hi := want + want/histSubCount + 1
+	if got < lo || got > hi {
+		t.Fatalf("%s: got %v, reference %v (allowed [%v, %v])", label, got, want, lo, hi)
+	}
+}
+
+func TestHistPercentilesVsSortedReference(t *testing.T) {
+	dists := map[string]func(r *rand.Rand) time.Duration{
+		// Uniform microseconds-to-milliseconds.
+		"uniform": func(r *rand.Rand) time.Duration {
+			return time.Duration(1_000 + r.Intn(10_000_000))
+		},
+		// Log-normal-ish long tail: most ops fast, rare multi-ms stalls.
+		"tailed": func(r *rand.Rand) time.Duration {
+			d := time.Duration(10_000 + r.Intn(50_000))
+			if r.Intn(100) == 0 {
+				d += time.Duration(r.Intn(40_000_000))
+			}
+			return d
+		},
+		// Bimodal: cache hits vs disk reads.
+		"bimodal": func(r *rand.Rand) time.Duration {
+			if r.Intn(2) == 0 {
+				return time.Duration(500 + r.Intn(2_000))
+			}
+			return time.Duration(200_000 + r.Intn(400_000))
+		},
+	}
+	for name, draw := range dists {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(7))
+			var h Hist
+			samples := make([]time.Duration, 50_000)
+			for i := range samples {
+				samples[i] = draw(r)
+				h.Record(samples[i])
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			if h.Count() != int64(len(samples)) {
+				t.Fatalf("count %d", h.Count())
+			}
+			for _, p := range []float64{0.50, 0.95, 0.99, 0.999} {
+				within(t, name, h.Percentile(p), refPercentile(samples, p))
+			}
+			if h.Percentile(0) != samples[0] || h.Percentile(1) != samples[len(samples)-1] {
+				t.Fatalf("extremes not exact: min %v/%v max %v/%v",
+					h.Percentile(0), samples[0], h.Percentile(1), samples[len(samples)-1])
+			}
+		})
+	}
+}
+
+func TestHistMergeEquivalentToSingle(t *testing.T) {
+	// Recording through per-worker histograms then merging must yield
+	// exactly the same distribution as recording everything into one —
+	// the property the runner's per-worker collection relies on.
+	r := rand.New(rand.NewSource(11))
+	var whole Hist
+	workers := make([]Hist, 4)
+	for i := 0; i < 40_000; i++ {
+		d := time.Duration(r.Intn(5_000_000))
+		whole.Record(d)
+		workers[i%len(workers)].Record(d)
+	}
+	var merged Hist
+	for i := range workers {
+		merged.Merge(&workers[i])
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("count %d vs %d", merged.Count(), whole.Count())
+	}
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		if merged.Percentile(p) != whole.Percentile(p) {
+			t.Fatalf("p%.3f: merged %v, single %v", p, merged.Percentile(p), whole.Percentile(p))
+		}
+	}
+	if merged.counts != whole.counts {
+		t.Fatal("bucket counts diverged")
+	}
+}
+
+func TestHistEmptyAndEdgeValues(t *testing.T) {
+	var h Hist
+	if h.Percentile(0.5) != 0 || h.Count() != 0 || h.Summary() != nil {
+		t.Fatal("empty histogram must report zeros and a nil summary")
+	}
+	h.Record(0)
+	h.Record(-5) // clamped, never panics
+	h.Record(time.Duration(1) << 50)
+	if h.Count() != 3 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Percentile(1) != time.Duration(1)<<50 {
+		t.Fatalf("max %v", h.Percentile(1))
+	}
+	if h.Percentile(0) != 0 {
+		t.Fatalf("min %v", h.Percentile(0))
+	}
+	s := h.Summary()
+	if s == nil || s.Count != 3 || s.Max != time.Duration(1)<<50 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestHistBucketScheme(t *testing.T) {
+	// The first linear region is exact; beyond it every bucket's upper
+	// bound maps back to its own bucket (the round-trip that makes
+	// percentile reporting monotone).
+	for v := int64(0); v < histSubCount; v++ {
+		if histValue(histIndex(v)) != v {
+			t.Fatalf("linear region not exact at %d", v)
+		}
+	}
+	for idx := histSubCount; idx < histBuckets; idx += 37 {
+		if histIndex(histValue(idx)) != idx {
+			t.Fatalf("bucket %d: upper bound %d maps to %d", idx, histValue(idx), histIndex(histValue(idx)))
+		}
+	}
+	// Quantization error is bounded by one sub-bucket width.
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 10_000; i++ {
+		v := int64(r.Uint64() >> (1 + r.Intn(40)))
+		got := histValue(histIndex(v))
+		if got < v || got-v > v/histSubCount+1 {
+			t.Fatalf("value %d reported as %d", v, got)
+		}
+	}
+}

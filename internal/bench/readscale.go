@@ -7,7 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"cole/internal/core"
+	"cole"
 	"cole/internal/types"
 )
 
@@ -70,7 +70,10 @@ func readScaleSystem(sys System, cfg Config, readers []int, scratch string) ([]R
 		return nil, err
 	}
 	defer cleanup(dir)
-	e, err := core.Open(core.Options{
+	// The sweep drives the store purely through the cole.DB interface:
+	// the measurement only needs the surface every backend shares.
+	var e cole.DB
+	e, err = cole.Open(cole.Options{
 		Dir:          dir,
 		MemCapacity:  cfg.MemCap,
 		SizeRatio:    cfg.SizeRatio,
@@ -177,7 +180,7 @@ func readScaleSystem(sys System, cfg Config, readers []int, scratch string) ([]R
 
 // measureReads runs n goroutines issuing uniform point reads for
 // readWindow and returns the aggregate reads/second.
-func measureReads(e *core.Engine, addrs []types.Address, n int) (float64, error) {
+func measureReads(e cole.DB, addrs []types.Address, n int) (float64, error) {
 	var (
 		ops     atomic.Int64
 		firstMu sync.Mutex

@@ -56,6 +56,14 @@ type RunPart struct {
 	Prov        *run.ProvResult
 }
 
+// Verify checks the proof against a state root digest and returns the
+// authenticated versions — the method form of VerifyProv, so a proof can
+// be checked through a backend-independent interface without naming its
+// concrete type.
+func (p *Proof) Verify(hstate types.Hash, addr types.Address, blkLo, blkHi uint64) ([]Version, error) {
+	return VerifyProv(hstate, addr, blkLo, blkHi, p)
+}
+
 // Size approximates the proof's wire size in bytes (for the proof-size
 // experiments, Figures 14–15).
 func (p *Proof) Size() int {

@@ -808,6 +808,14 @@ type Proof struct {
 	Inner *core.Proof
 }
 
+// Verify checks the proof against a combined block-header digest and
+// returns the authenticated versions — the method form of VerifyProv, so
+// a proof can be checked through a backend-independent interface without
+// naming its concrete type.
+func (p *Proof) Verify(hstate types.Hash, addr types.Address, blkLo, blkHi uint64) ([]core.Version, error) {
+	return VerifyProv(hstate, addr, blkLo, blkHi, p)
+}
+
 // Size approximates the proof's wire size in bytes: the inner proof, the
 // shard root, the Merkle path, and the two index fields.
 func (p *Proof) Size() int {

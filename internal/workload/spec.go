@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cole/internal/types"
+)
+
+// Spec declares a workload: the key population and its access
+// distribution, the read/write mix, the value payload size, and how the
+// open-loop harness should drive it (duration, warm-up, concurrency,
+// target rate, block size, seed). A Spec is pure data — New resolves it
+// against the generator registry — so workloads can be enumerated,
+// serialized into benchmark reports, and swept as a matrix.
+type Spec struct {
+	// Name selects a registered generator ("uniform", "zipfian",
+	// "hotaccount", …); Names() lists what is available.
+	Name string
+	// Keys is the key population: the base records written by the load
+	// phase and the domain every operation draws from.
+	Keys int
+	// ValueSize is the logical value payload in bytes. Stored values are
+	// fixed 32-byte states; larger payloads are generated then hashed
+	// down (types.ValueFromBytes), so the generation cost is paid but
+	// the storage accounting stays entry-sized.
+	ValueSize int
+	// ReadFraction is the fraction of operations that are point reads
+	// (0 = write-only, 1 = read-only).
+	ReadFraction float64
+	// ZipfS and ZipfV shape the zipfian distribution (defaults match
+	// YCSB's request distribution: s = 1.01, v = 1).
+	ZipfS, ZipfV float64
+	// HotKeys is the fraction of the population forming the hot set and
+	// HotOps the fraction of operations routed to it (hotaccount only).
+	// Defaults: 1% of the keys take 90% of the traffic.
+	HotKeys, HotOps float64
+	// TxPerBlock is how many write operations fill one committed block.
+	TxPerBlock int
+	// Duration is the measured open-loop run length; WarmUp runs the
+	// identical loop first without recording.
+	Duration time.Duration
+	WarmUp   time.Duration
+	// Concurrency is the number of concurrent read workers.
+	Concurrency int
+	// Rate is the target operation arrival rate in ops/second. 0 runs
+	// closed-loop (as fast as the store allows); > 0 schedules issue
+	// times up front so recorded latency includes queueing delay — the
+	// open-loop convention that makes tail latency honest under
+	// saturation (no coordinated omission).
+	Rate float64
+	// Seed makes every generated key/value stream deterministic.
+	Seed int64
+}
+
+// WithDefaults fills unset fields with smoke-scale values.
+func (s Spec) WithDefaults() Spec {
+	if s.Name == "" {
+		s.Name = "uniform"
+	}
+	if s.Keys == 0 {
+		s.Keys = 1000
+	}
+	if s.ValueSize == 0 {
+		s.ValueSize = types.ValueSize
+	}
+	if s.ZipfS == 0 {
+		s.ZipfS = 1.01
+	}
+	if s.ZipfV == 0 {
+		s.ZipfV = 1
+	}
+	if s.HotKeys == 0 {
+		s.HotKeys = 0.01
+	}
+	if s.HotOps == 0 {
+		s.HotOps = 0.9
+	}
+	if s.TxPerBlock == 0 {
+		s.TxPerBlock = 100
+	}
+	if s.Duration == 0 {
+		s.Duration = 2 * time.Second
+	}
+	if s.WarmUp == 0 {
+		s.WarmUp = 200 * time.Millisecond
+	}
+	if s.Concurrency == 0 {
+		s.Concurrency = 4
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	return s
+}
+
+// Label names the workload row in reports: generator plus read mix,
+// e.g. "zipfian/r50".
+func (s Spec) Label() string {
+	return fmt.Sprintf("%s/r%.0f", s.Name, s.ReadFraction*100)
+}
+
+// Op is one generated operation against a store: a point read of Addr,
+// or a write of Value to Addr.
+type Op struct {
+	Addr  types.Address
+	Value types.Value
+	Read  bool
+}
+
+// Generator yields a deterministic operation stream for one Spec. A
+// generator is single-goroutine state; the harness owns exactly one per
+// run and fans the resulting operations out itself, so the generated
+// key/value stream is identical for every run with the same seed.
+type Generator interface {
+	// Name returns the registered generator name.
+	Name() string
+	// Load returns the base-population writes applied (in blocks) before
+	// the clock starts, YCSB load/run style.
+	Load() []types.Update
+	// Next returns the next operation of the running phase.
+	Next() Op
+}
+
+// Factory builds a Generator from a defaulted Spec.
+type Factory func(spec Spec) (Generator, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register adds a named generator factory. Registering a taken name
+// panics: workload names appear in reports and CLI flags, so a silent
+// override would corrupt cross-run comparisons.
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workload: generator %q registered twice", name))
+	}
+	registry[name] = f
+}
+
+// New resolves spec.Name against the registry and builds the generator
+// from the defaulted spec.
+func New(spec Spec) (Generator, error) {
+	spec = spec.WithDefaults()
+	registryMu.RLock()
+	f, ok := registry[spec.Name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown generator %q (have: %v)", spec.Name, Names())
+	}
+	return f(spec)
+}
+
+// Names lists the registered generator names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,9 +1,22 @@
-// Package workload generates the paper's two macro benchmarks (§8.1.3):
-// SmallBank and the YCSB-style KVStore from Blockbench, plus the
-// provenance workload of §8.2.5 (a small base set updated continuously).
+// Package workload generates benchmark traffic for the storage engines.
 //
-// Generators are deterministic given a seed, so identical workloads can be
-// replayed across engines and across recovering nodes.
+// Two generator families live here. The paper generators reproduce the
+// evaluation's macro benchmarks (§8.1.3) — SmallBank and the YCSB-style
+// KVStore from Blockbench, plus the provenance workload of §8.2.5 (a
+// small base set updated continuously) — as chain.Tx streams for the
+// transaction executor.
+//
+// The pluggable Spec API (spec.go, generators.go) is the scenario
+// engine's substrate: a declarative Spec (key population, value size,
+// distribution, read/write mix, duration, warm-up, concurrency, seed)
+// resolved through a registry into a Generator that yields raw store
+// operations. Built-ins cover uniform, zipfian (YCSB request skew), and
+// hot-account (a small hot set takes most traffic) distributions; new
+// access patterns register a Factory under a name and every experiment
+// that sweeps workloads picks them up.
+//
+// All generators are deterministic given a seed, so identical workloads
+// can be replayed across engines and across recovering nodes.
 package workload
 
 import (

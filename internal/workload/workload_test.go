@@ -94,6 +94,31 @@ func TestKVStoreWriteSequenceMonotone(t *testing.T) {
 	}
 }
 
+func TestKVStoreDeterministicAllMixes(t *testing.T) {
+	// Two generators from the same seed must agree on the load phase and
+	// the whole running stream, for every read/write mix: replaying the
+	// same workload against different engines is how cross-system
+	// comparisons stay apples-to-apples.
+	for _, mix := range []Mix{ReadWrite, ReadOnly, WriteOnly} {
+		a := NewKVStore(9, 64, mix)
+		b := NewKVStore(9, 64, mix)
+		la, lb := a.LoadPhase(), b.LoadPhase()
+		if len(la) != len(lb) {
+			t.Fatalf("%v: load phases differ in length", mix)
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("%v: load phases diverged at %d", mix, i)
+			}
+		}
+		for i := 0; i < 500; i++ {
+			if a.Next() != b.Next() {
+				t.Fatalf("%v: generators diverged at tx %d", mix, i)
+			}
+		}
+	}
+}
+
 func TestMixString(t *testing.T) {
 	if ReadOnly.String() != "RO" || ReadWrite.String() != "RW" || WriteOnly.String() != "WO" {
 		t.Fatal("mix labels must match the paper's axis labels")
