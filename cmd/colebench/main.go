@@ -19,6 +19,9 @@
 // shardscale (and the reshard target sweep) it sets the top of the
 // power-of-two sweep. -merge-workers W bounds the
 // shared background merge pool (for mergesched: the top of its sweep);
+// -merge-partitions W fans each level merge across W key-range spans of
+// the shared pool (0 auto-sizes by merge volume; output runs are
+// byte-identical at any width);
 // -readers R sets the top of readscale's reader-goroutine sweep; -batch
 // routes each block through the batched write pipeline (off by default
 // so the paper-replication figures keep the paper's per-Put methodology;
@@ -58,6 +61,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "COLE shard count (shardscale: top of the 1,2,4,... sweep)")
 		readers  = flag.Int("readers", 0, "readscale: top of the 1,2,4,... reader-goroutine sweep (default 8)")
 		workers  = flag.Int("merge-workers", 0, "shared merge worker budget, 0 = GOMAXPROCS (mergesched: top of the 1,2,4,... sweep)")
+		mergePar = flag.Int("merge-partitions", 0, "key-range partitions per level merge: 1 = sequential, 0 = auto-size by merge volume (byte-identical output at any width)")
 		batch    = flag.Bool("batch", false, "apply each block's writes as one PutBatch (COLE systems only; shardscale/mergesched always batch)")
 		jsonOut  = flag.String("json", "", "also write a machine-readable report (tables + raw measurements) to this path")
 		scratch  = flag.String("scratch", "", "scratch directory (default: system temp)")
@@ -90,6 +94,7 @@ func main() {
 		cfg.Shards = *shards
 	}
 	cfg.MergeWorkers = *workers
+	cfg.MergePartitions = *mergePar
 	cfg.Batched = *batch
 	cfg.Seed = *seed
 	if *duration > 0 {

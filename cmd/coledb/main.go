@@ -224,6 +224,12 @@ func main() {
 		fmt.Printf("ops:         %d puts, %d gets (%d bloom skips), %d prov queries\n", st.Puts, st.Gets, st.BloomSkips, st.ProvQueries)
 		fmt.Printf("maintenance: %d flushes (%.1f MB), %d merges (%.1f MB rewritten), %d merge waits\n",
 			st.Flushes, float64(st.FlushBytes)/(1<<20), st.Merges, float64(st.MergeBytes)/(1<<20), st.MergeWaits)
+		mergeMBps := 0.0
+		if st.MergeNanos > 0 {
+			mergeMBps = float64(st.MergeBytes) / (1 << 20) / (float64(st.MergeNanos) / 1e9)
+		}
+		fmt.Printf("merge rate:  %.1f MB/s inside level-merge builds, %d partition waits\n",
+			mergeMBps, st.PartitionWaits)
 		hitRate := 0.0
 		if st.PageReads+st.CacheHits > 0 {
 			hitRate = 100 * float64(st.CacheHits) / float64(st.PageReads+st.CacheHits)

@@ -55,6 +55,11 @@ type SystemSpec struct {
 	// systems (0 = GOMAXPROCS); the budget spans every level of every
 	// shard.
 	MergeWorkers int
+	// MergePartitions is COLE's intra-merge key-range fan-out (core
+	// Options.MergePartitions): 1 sequential, 0 auto-sized by merge
+	// volume. Purely a wall-time knob — run files are byte-identical at
+	// every width.
+	MergePartitions int
 	// Batched routes each block's writes through the batched pipeline
 	// (chain.Batched → PutBatch) instead of per-update Put calls.
 	// Digests are identical either way.
@@ -236,11 +241,14 @@ type Result struct {
 	// MergeMBps that volume per second spent inside merge builds, and
 	// PageReads / CacheHits the point-read page-cache totals (physical
 	// reads vs LRU hits), which stay intact under heavy compaction.
-	IOMode     string  `json:",omitempty"`
-	MergeBytes int64   `json:",omitempty"`
-	MergeMBps  float64 `json:",omitempty"`
-	PageReads  int64   `json:",omitempty"`
-	CacheHits  int64   `json:",omitempty"`
+	// MergePartitions is the key-range fan-out the row ran with (set on
+	// the partition-sweep rows and any engine phase with the knob set).
+	IOMode          string  `json:",omitempty"`
+	MergePartitions int     `json:",omitempty"`
+	MergeBytes      int64   `json:",omitempty"`
+	MergeMBps       float64 `json:",omitempty"`
+	PageReads       int64   `json:",omitempty"`
+	CacheHits       int64   `json:",omitempty"`
 	// Open-loop workload measurements (the workloads experiment): the
 	// shard count of the store under test, the per-class operation
 	// counts of the measured window, the per-op read and per-block
@@ -278,6 +286,7 @@ func openSystem(sys System, dir string, cfg Config) (*backendHandle, error) {
 			AsyncMerge:       sys == SysCOLEAsync,
 			Shards:           cfg.Shards,
 			MergeWorkers:     cfg.MergeWorkers,
+			MergePartitions:  cfg.MergePartitions,
 			LegacyCompaction: cfg.IOMode == "legacy",
 		}
 		// The batched pipeline buffers each block and lands it as one

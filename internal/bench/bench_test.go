@@ -211,9 +211,12 @@ func TestCompactionBenchTiny(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Two merge-only rows plus two rows per system.
-	if len(table.Rows) != 6 || len(table.Results) != 6 {
-		t.Fatalf("expected 6 rows, got %d rows / %d results", len(table.Rows), len(table.Results))
+	// Two merge-only rows, the partition-width sweep, then two rows per
+	// system.
+	sweepRows := len(mergePartitionWidths)
+	want := 2 + sweepRows + 4
+	if len(table.Rows) != want || len(table.Results) != want {
+		t.Fatalf("expected %d rows, got %d rows / %d results", want, len(table.Rows), len(table.Results))
 	}
 	for i, res := range table.Results {
 		if res.IOMode != "legacy" && res.IOMode != "streaming" {
@@ -227,7 +230,15 @@ func TestCompactionBenchTiny(t *testing.T) {
 			t.Fatalf("merge-only row lacks bandwidth: %+v", res)
 		}
 	}
-	for _, res := range table.Results[2:] {
+	for i, res := range table.Results[2 : 2+sweepRows] {
+		if res.MergePartitions != mergePartitionWidths[i] {
+			t.Fatalf("sweep row %d: partitions = %d, want %d", i, res.MergePartitions, mergePartitionWidths[i])
+		}
+		if res.MergeMBps <= 0 || res.MergeBytes <= 0 {
+			t.Fatalf("partition-sweep row lacks bandwidth: %+v", res)
+		}
+	}
+	for _, res := range table.Results[2+sweepRows:] {
 		if res.TPS <= 0 || res.PageReads+res.CacheHits == 0 {
 			t.Fatalf("engine row lacks counters: %+v", res)
 		}

@@ -59,6 +59,7 @@ func CompactionBench(cfg Config, scratch string) (*Table, error) {
 			"legacy: 1-page write syscalls, 1-page merge reads, leaf + bloom hashes recomputed per merged entry",
 			"streaming: ~1 MiB coalesced writes + readahead, leaf hashes streamed from the source .mrk files",
 			fmt.Sprintf("merge-only: isolated %d-way sort-merge of the workload's entries, best of %d reps", cfg.SizeRatio, compactionMergeReps),
+			"merge-par: the same isolated streaming merge fanned across W key-range partitions (speedup vs its own w=1 row; output runs byte-identical at every width)",
 			"engine rows: merge(MB/s) is level-merge volume over wall time inside level-merge builds (background merges time-slice with the foreground on small hosts)",
 			"pagereads/cachehits count the point-read page cache, which merges bypass in BOTH legs (the legacy leg reverts syscall granularity and per-entry hashing, not the seed's cache-routed reads)",
 			"speedup is streaming over the legacy leg of the same phase",
@@ -99,6 +100,19 @@ func CompactionBench(cfg Config, scratch string) (*Table, error) {
 			mergeBase = res.MergeMBps
 		}
 		addRow("merge-only", res, mergeBase)
+	}
+	sweep, err := isolatedPartitionSweep(cfg, scratch)
+	if err != nil {
+		return nil, fmt.Errorf("merge partition sweep: %w", err)
+	}
+	var wideBase float64
+	for _, res := range sweep {
+		base := wideBase
+		if res.MergePartitions == 1 {
+			wideBase = res.MergeMBps
+			base = 0 // the W=1 row is its own baseline
+		}
+		addRow(fmt.Sprintf("merge-par(w=%d)", res.MergePartitions), res, base)
 	}
 	for _, sys := range []System{SysCOLE, SysCOLEAsync} {
 		var base float64
@@ -216,6 +230,103 @@ func isolatedMergeRun(mode string, cfg Config, scratch string) (Result, error) {
 	return res, nil
 }
 
+// mergePartitionWidths is the compaction experiment's partition sweep:
+// the same isolated merge fanned across 1, 2, 4, and 8 key-range spans.
+var mergePartitionWidths = []int{1, 2, 4, 8}
+
+// isolatedPartitionSweep builds the streaming-mode source runs once and
+// times their k-way merge at each partition width. W=1 is the sequential
+// streaming build; wider rows plan page-aligned spans and fan them
+// across goroutines exactly like the engine's partitioned merges (which
+// route through the merge pool instead — same data path). The output is
+// byte-identical at every width, so the sweep isolates pure wall-time
+// scaling of one big merge.
+func isolatedPartitionSweep(cfg Config, scratch string) ([]Result, error) {
+	dir, err := tempDir(scratch, "compaction-partitions")
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup(dir)
+
+	total := cfg.Blocks * cfg.TxPerBlock
+	if total < compactionMergeFloor {
+		total = compactionMergeFloor
+	}
+	entries := compactionEntries(cfg, total)
+	params := run.Params{PageSize: 0, Fanout: cfg.Fanout, BloomFP: cfg.BloomFP}
+	ways := cfg.SizeRatio
+	perRun := make([][]types.Entry, ways)
+	for i, e := range entries {
+		perRun[i%ways] = append(perRun[i%ways], e)
+	}
+	runs := make([]*run.Run, ways)
+	for k := range runs {
+		r, err := run.Build(dir, uint64(k), int64(len(perRun[k])), params, run.NewSliceIterator(perRun[k]))
+		if err != nil {
+			return nil, err
+		}
+		runs[k] = r
+	}
+	defer func() {
+		for _, r := range runs {
+			if r != nil {
+				r.Close()
+			}
+		}
+	}()
+
+	var out []Result
+	id := uint64(2000)
+	for _, w := range mergePartitionWidths {
+		res := Result{Workload: "compaction", IOMode: "streaming", MergePartitions: w, Txs: len(entries)}
+		res.MergeBytes = int64(len(entries)) * types.EntrySize
+		for rep := 0; rep < compactionMergeReps; rep++ {
+			start := time.Now()
+			built, err := partitionedMergeOnce(dir, id, runs, int64(len(entries)), params, w)
+			if err != nil {
+				return nil, err
+			}
+			id++
+			elapsed := time.Since(start)
+			if mbps := float64(res.MergeBytes) / (1 << 20) / elapsed.Seconds(); mbps > res.MergeMBps {
+				res.MergeMBps = mbps
+				res.Elapsed = elapsed
+			}
+			if err := built.Remove(); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// partitionedMergeOnce merges runs into one destination run at the given
+// width (the bench-side mirror of the engine's buildLevelRun, with plain
+// goroutine spawns instead of merge-pool slots).
+func partitionedMergeOnce(dir string, id uint64, runs []*run.Run, count int64, params run.Params, width int) (*run.Run, error) {
+	if width > 1 {
+		spans, err := run.PlanRuns(runs, width, params.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		if len(spans) > 1 {
+			par := run.Parallel{Spawn: func(fn func()) { go fn() }}
+			return run.BuildPartitioned(dir, id, count, params, spans,
+				func(sp run.Span) (run.Iterator, error) { return run.MergeRunsRange(runs, sp), nil }, par)
+		}
+	}
+	it := run.MergeRuns(runs)
+	r, err := run.Build(dir, id, count, params, it)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
 // compactionRun drives one engine through the sustained-write phase and
 // gathers the compaction counters.
 func compactionRun(sys System, mode string, cfg Config, scratch string) (Result, error) {
@@ -233,13 +344,14 @@ func compactionRun(sys System, mode string, cfg Config, scratch string) (Result,
 		memCap = total / 8
 	}
 	opts := core.Options{
-		Dir:          dir,
-		MemCapacity:  memCap,
-		SizeRatio:    cfg.SizeRatio,
-		Fanout:       cfg.Fanout,
-		BloomFP:      cfg.BloomFP,
-		AsyncMerge:   sys == SysCOLEAsync,
-		MergeWorkers: cfg.MergeWorkers,
+		Dir:             dir,
+		MemCapacity:     memCap,
+		SizeRatio:       cfg.SizeRatio,
+		Fanout:          cfg.Fanout,
+		BloomFP:         cfg.BloomFP,
+		AsyncMerge:      sys == SysCOLEAsync,
+		MergeWorkers:    cfg.MergeWorkers,
+		MergePartitions: cfg.MergePartitions,
 	}
 	if mode == "legacy" {
 		opts.MergeReadahead = 1
@@ -257,7 +369,7 @@ func compactionRun(sys System, mode string, cfg Config, scratch string) (Result,
 	for i := range addrs {
 		addrs[i] = types.AddressFromUint64(uint64(i))
 	}
-	res := Result{System: sys, Workload: "compaction", IOMode: mode, Blocks: cfg.Blocks, Txs: total}
+	res := Result{System: sys, Workload: "compaction", IOMode: mode, MergePartitions: cfg.MergePartitions, Blocks: cfg.Blocks, Txs: total}
 	upd := make([]types.Update, cfg.TxPerBlock)
 	start := time.Now()
 	for b := 1; b <= cfg.Blocks; b++ {

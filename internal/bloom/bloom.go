@@ -73,6 +73,25 @@ func (f *Filter) Add(addr types.Address) {
 // workloads.
 func (f *Filter) AddRepeat() { f.entries++ }
 
+// Union folds another filter into f: the bit arrays OR together and the
+// entry counters add. Both filters must share the exact geometry (they
+// were New'd with the same parameters). The partitioned run builder
+// gives every key-range span its own filter sized for the full expected
+// count and unions them afterwards; because Add's bit pattern is
+// position-independent and idempotent, the union marshals byte-for-byte
+// what one sequential pass over the same entry stream would produce.
+func (f *Filter) Union(o *Filter) error {
+	if f.nbits != o.nbits || f.hashes != o.hashes {
+		return fmt.Errorf("bloom: union of mismatched filters (nbits %d vs %d, hashes %d vs %d)",
+			f.nbits, o.nbits, f.hashes, o.hashes)
+	}
+	for i, w := range o.bits {
+		f.bits[i] |= w
+	}
+	f.entries += o.entries
+	return nil
+}
+
 // MayContain reports whether addr may be present (false means definitely
 // absent).
 func (f *Filter) MayContain(addr types.Address) bool {

@@ -116,6 +116,15 @@ type Options struct {
 	// covers every level of every shard; jobs beyond it queue, and the
 	// resulting back-pressure surfaces as Stats.MergeWaits.
 	MergeWorkers int
+	// MergePartitions bounds how many key-range spans one level merge is
+	// cut into and fanned across the merge pool. 1 keeps merges
+	// sequential; 0 (the default) sizes each merge automatically — wide
+	// enough to matter only when the merged volume justifies the
+	// planning pass, never wider than the pool. The partitioned build is
+	// byte-identical to the sequential one (stitched value/Merkle/Bloom/
+	// index output), so the knob affects wall time only, never digests.
+	// LegacyCompaction forces sequential merges regardless.
+	MergePartitions int
 	// RootHistory is how many recent (height → Hstate) pairs the engine
 	// retains and persists in its manifest. The shard layer reads them
 	// back during post-crash replay so a shard whose checkpoint already
@@ -275,10 +284,11 @@ type Engine struct {
 	// acquire mu. mergeWaits is also atomic because it is incremented
 	// from job goroutines that may be queuing while the committing thread
 	// holds mu waiting on those very jobs.
-	gets        atomic.Int64
-	provQueries atomic.Int64
-	bloomSkips  atomic.Int64
-	mergeWaits  atomic.Int64
+	gets           atomic.Int64
+	provQueries    atomic.Int64
+	bloomSkips     atomic.Int64
+	mergeWaits     atomic.Int64
+	partitionWaits atomic.Int64
 }
 
 // Stats aggregates engine counters for the benchmark harness.
@@ -295,8 +305,15 @@ type Stats struct {
 	// MergeWaits counts back-pressure events on the merge pool: commit
 	// checkpoints that had to block on an unfinished merge job, plus jobs
 	// that found the shared worker pool saturated and queued before
-	// starting.
+	// starting. Sibling partitions of one fanned-out merge queuing behind
+	// each other are NOT counted here — that contention is intentional
+	// and lands in PartitionWaits.
 	MergeWaits int64
+	// PartitionWaits counts queue waits by the span sub-jobs of
+	// partitioned merges (including the parent job's slot re-entry after
+	// its join). High values with low MergeWaits mean the pool is busy
+	// fanning merges out, not that shards are starving each other.
+	PartitionWaits int64
 	// FlushBytes is the logical volume written by L0 flushes (entry bytes
 	// of every flushed run); MergeBytes the volume written by level
 	// sort-merges, where each entry is re-read, re-hashed (unless passed
@@ -618,6 +635,7 @@ func (e *Engine) Stats() Stats {
 	st.ProvQueries = e.provQueries.Load()
 	st.BloomSkips = e.bloomSkips.Load()
 	st.MergeWaits = e.mergeWaits.Load()
+	st.PartitionWaits = e.partitionWaits.Load()
 	return st
 }
 
@@ -625,6 +643,10 @@ func (e *Engine) Stats() Stats {
 // it must not take e.mu (the committer may hold it while waiting on the
 // job that is reporting the wait).
 func (e *Engine) noteMergeWait() { e.mergeWaits.Add(1) }
+
+// notePartitionWait records one queue wait by a span sub-job of a
+// partitioned merge. Same locking contract as noteMergeWait.
+func (e *Engine) notePartitionWait() { e.partitionWaits.Add(1) }
 
 // Scheduler exposes the engine's merge pool (shared across shards when
 // the store is sharded), for introspection and tests.

@@ -104,6 +104,29 @@ func bulkLevel(count int64, memCap, ratio int) int {
 // historical roots, because digests recorded under a different partition
 // count do not combine into the new store's headers.
 func InstallBulk(opts Options, height uint64, count int64, src run.Iterator) error {
+	return InstallBulkFrom(opts, height, count, func(dir string, id uint64, params run.Params) (*run.Run, error) {
+		r, err := run.Build(dir, id, count, params, src)
+		if err != nil {
+			// A source iterator that died mid-stream surfaces as a count
+			// mismatch inside Build; report the underlying I/O error.
+			if ei, ok := src.(run.ErrIterator); ok && ei.Err() != nil {
+				return nil, ei.Err()
+			}
+			return nil, err
+		}
+		return r, nil
+	})
+}
+
+// BuildFunc builds the single bottom-level run of a bulk install at the
+// given directory/id/params and returns it opened.
+type BuildFunc func(dir string, id uint64, params run.Params) (*run.Run, error)
+
+// InstallBulkFrom is InstallBulk with the run construction delegated to
+// the caller: reshard uses it to build the destination run partitioned
+// by key range (run.BuildPartitioned) instead of from one sequential
+// iterator. The build must produce exactly count entries.
+func InstallBulkFrom(opts Options, height uint64, count int64, build BuildFunc) error {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return err
@@ -127,14 +150,13 @@ func InstallBulk(opts Options, height uint64, count int64, src run.Iterator) err
 		Fanout:     opts.Fanout,
 	}
 	if count > 0 {
-		r, err := run.Build(opts.Dir, 0, count, opts.runParams(), src)
+		r, err := build(opts.Dir, 0, opts.runParams())
 		if err != nil {
-			// A source iterator that died mid-stream surfaces as a count
-			// mismatch inside Build; report the underlying I/O error.
-			if ei, ok := src.(run.ErrIterator); ok && ei.Err() != nil {
-				return fmt.Errorf("core: bulk run build: %w", ei.Err())
-			}
 			return fmt.Errorf("core: bulk run build: %w", err)
+		}
+		if r.Count() != count {
+			r.Close()
+			return fmt.Errorf("core: bulk run holds %d entries, expected %d", r.Count(), count)
 		}
 		if err := r.Close(); err != nil {
 			return err

@@ -356,13 +356,8 @@ func (e *Engine) startLevelMerge(levelIdx int, runs []*run.Run) *mergeState {
 		defer close(ms.done)
 		start := time.Now()
 		defer func() { ms.elapsed = time.Since(start) }()
-		it := run.MergeRuns(runs)
-		r, err := run.Build(e.opts.Dir, id, count, e.opts.runParams(), it)
+		r, err := e.buildLevelRun(id, count, runs)
 		if err != nil {
-			ms.err = err
-			return
-		}
-		if err := it.Err(); err != nil {
 			ms.err = err
 			return
 		}
@@ -384,17 +379,73 @@ func (e *Engine) buildMergedRun(runs []*run.Run) (*run.Run, error) {
 	var err error
 	e.sched.Run(func() {
 		start := time.Now()
-		it := run.MergeRuns(runs)
-		merged, err = run.Build(e.opts.Dir, id, count, e.opts.runParams(), it)
-		if err == nil {
-			err = it.Err()
-		}
+		merged, err = e.buildLevelRun(id, count, runs)
 		e.stats.MergeNanos += int64(time.Since(start))
 	}, e.noteMergeWait)
 	if err != nil {
 		return nil, fmt.Errorf("core: level merge: %w", err)
 	}
 	return merged, nil
+}
+
+// autoPartitionBytes is the merged volume one key-range span should
+// carry before the automatic width adds another (~8 MiB of entry bytes
+// per span): below it, the planning probes and per-span setup cost more
+// than the parallelism recovers.
+const autoPartitionBytes = 8 << 20
+
+// mergeWidth picks how many key-range spans a merge of count entries is
+// cut into. An explicit Options.MergePartitions ≥ 1 is used as-is; 0
+// sizes by merged volume and caps at the pool's worker budget.
+// LegacyCompaction pins the pre-partitioning behavior.
+func (e *Engine) mergeWidth(count int64) int {
+	if e.opts.LegacyCompaction {
+		return 1
+	}
+	if w := e.opts.MergePartitions; w > 0 {
+		return w
+	}
+	w := int(count * types.EntrySize / autoPartitionBytes)
+	if workers := e.sched.Workers(); w > workers {
+		w = workers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// buildLevelRun builds a level merge's destination run, partitioned by
+// key range when the width says so. The caller already holds a
+// merge-pool slot (startLevelMerge's job, buildMergedRun's Run), so the
+// spans go out via SubmitPartition and the join runs inside Yield: the
+// parent's released slot is what feeds its own spans on a narrow pool.
+// The partitioned output is byte-identical to the sequential build, so
+// the choice never reaches digests or the manifest.
+func (e *Engine) buildLevelRun(id uint64, count int64, runs []*run.Run) (*run.Run, error) {
+	if width := e.mergeWidth(count); width > 1 {
+		spans, err := run.PlanRuns(runs, width, e.opts.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		if len(spans) > 1 {
+			par := run.Parallel{
+				Spawn: func(fn func()) { e.sched.SubmitPartition(fn, e.notePartitionWait) },
+				Yield: func(wait func()) { e.sched.Yield(wait, e.notePartitionWait) },
+			}
+			return run.BuildPartitioned(e.opts.Dir, id, count, e.opts.runParams(), spans,
+				func(sp run.Span) (run.Iterator, error) { return run.MergeRunsRange(runs, sp), nil }, par)
+		}
+	}
+	it := run.MergeRuns(runs)
+	r, err := run.Build(e.opts.Dir, id, count, e.opts.runParams(), it)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // FlushAll forces the L0 contents to disk and joins all merge threads,

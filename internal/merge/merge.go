@@ -33,6 +33,11 @@ type Scheduler struct {
 
 	submitted atomic.Int64
 	waited    atomic.Int64
+	// partitionWaited counts queue waits by sibling partitions of one
+	// fanned-out merge (SubmitPartition / Yield re-entry). Intentional
+	// fan-out saturates the pool by design; keeping its waits out of
+	// `waited` stops it polluting cross-shard back-pressure diagnosis.
+	partitionWaited atomic.Int64
 }
 
 // New creates a scheduler running at most `workers` jobs concurrently;
@@ -50,12 +55,18 @@ func (s *Scheduler) Workers() int { return cap(s.slots) }
 // acquire takes a worker slot, reporting (once) through onWait if the
 // pool was saturated and the job had to queue.
 func (s *Scheduler) acquire(onWait func()) {
+	s.acquireInto(&s.waited, onWait)
+}
+
+// acquireInto is acquire with the wait charged to an explicit counter,
+// so partition sub-jobs account separately from whole jobs.
+func (s *Scheduler) acquireInto(counter *atomic.Int64, onWait func()) {
 	select {
 	case s.slots <- struct{}{}:
 		return
 	default:
 	}
-	s.waited.Add(1)
+	counter.Add(1)
 	if onWait != nil {
 		onWait()
 	}
@@ -90,15 +101,51 @@ func (s *Scheduler) Run(job func(), onWait func()) {
 	job()
 }
 
+// SubmitPartition schedules one span of a partitioned merge on the pool
+// and returns immediately. It differs from Submit only in accounting:
+// a sibling partition queueing behind its own fan-out is expected, so
+// its waits land in Stats.PartitionWaited instead of Stats.Waited.
+// onWait follows the Submit contract.
+func (s *Scheduler) SubmitPartition(job func(), onWait func()) {
+	s.submitted.Add(1)
+	go func() {
+		s.acquireInto(&s.partitionWaited, onWait)
+		defer s.release()
+		job()
+	}()
+}
+
+// Yield releases the calling job's worker slot for the duration of
+// wait, then re-acquires one. A merge job that fans its spans out via
+// SubmitPartition calls its join inside Yield: on a narrow pool the
+// parent's slot is what lets its own spans run, so holding it across
+// the join would deadlock. The re-acquisition wait is charged to
+// Stats.PartitionWaited — it is fan-out bookkeeping, not back-pressure.
+// Only call from inside a job started by Submit or Run.
+func (s *Scheduler) Yield(wait func(), onWait func()) {
+	s.release()
+	wait()
+	s.acquireInto(&s.partitionWaited, onWait)
+}
+
 // Stats is a snapshot of scheduler counters.
 type Stats struct {
-	// Submitted counts jobs handed to the pool (Submit and Run).
+	// Submitted counts jobs handed to the pool (Submit, Run, and
+	// SubmitPartition).
 	Submitted int64
-	// Waited counts jobs that found the pool saturated and queued.
+	// Waited counts whole jobs that found the pool saturated and queued:
+	// genuine cross-shard contention.
 	Waited int64
+	// PartitionWaited counts queue waits by sibling partitions of a
+	// fanned-out merge (including the parent's Yield re-entry).
+	PartitionWaited int64
 }
 
 // Stats returns the scheduler counters.
 func (s *Scheduler) Stats() Stats {
-	return Stats{Submitted: s.submitted.Load(), Waited: s.waited.Load()}
+	return Stats{
+		Submitted:       s.submitted.Load(),
+		Waited:          s.waited.Load(),
+		PartitionWaited: s.partitionWaited.Load(),
+	}
 }

@@ -327,6 +327,27 @@ func (r *File) Record(i int64, dst []byte) ([]byte, error) {
 	return dst[:n], nil
 }
 
+// RecordAt reads record i into dst (len == recSize) with one positional
+// syscall, bypassing — and never populating — the LRU page cache. This
+// is the merge planner's probe path: planning a partitioned merge
+// touches a few hundred scattered records per source and must not evict
+// concurrent point readers' working set. Accounted under SeqReads with
+// the other cache-bypassing reads.
+func (r *File) RecordAt(i int64, dst []byte) error {
+	if i < 0 || i >= r.count {
+		return fmt.Errorf("pagefile: record %d out of range [0,%d) in %s", i, r.count, r.path)
+	}
+	if len(dst) != r.recSize {
+		return fmt.Errorf("pagefile: record buffer length %d, want %d", len(dst), r.recSize)
+	}
+	off := r.PageOf(i)*int64(r.pageSize) + (i%int64(r.perPage))*int64(r.recSize)
+	if _, err := r.f.ReadAt(dst, off); err != nil {
+		return fmt.Errorf("pagefile: read record %d of %s: %w", i, r.path, err)
+	}
+	r.seqReads.Add(1)
+	return nil
+}
+
 // RecordView returns record i as a view into the cached page: no copy.
 // The bytes are immutable (pages are never modified once cached) but the
 // caller must not mutate them; decode before issuing writes that could
@@ -380,24 +401,44 @@ type SequentialReader struct {
 	startPage int64 // first page currently buffered
 	pages     int   // valid pages in buf
 	pos       int64 // next record index
+	limit     int64 // first record index beyond the readable range
+	endPage   int64 // first page beyond the readable range
 }
 
 // SequentialReader returns a streaming reader over all records, reading
 // readaheadPages pages per syscall (0 selects DefaultReadaheadPages).
 func (r *File) SequentialReader(readaheadPages int) *SequentialReader {
+	return r.SequentialReaderRange(readaheadPages, 0, r.count)
+}
+
+// SequentialReaderRange returns a streaming reader over records
+// [lo, hi), with the readahead window clipped to the span's pages: the
+// sub-iterator of a partitioned merge never fetches pages beyond its
+// cut. readaheadPages 0 selects DefaultReadaheadPages.
+func (r *File) SequentialReaderRange(readaheadPages int, lo, hi int64) *SequentialReader {
 	if readaheadPages < 1 {
 		readaheadPages = DefaultReadaheadPages
 	}
-	if np := r.NumPages(); int64(readaheadPages) > np {
-		readaheadPages = int(np)
+	if lo < 0 {
+		lo = 0
 	}
-	return &SequentialReader{f: r, window: readaheadPages}
+	if hi > r.count {
+		hi = r.count
+	}
+	if lo >= hi {
+		return &SequentialReader{f: r, window: 1}
+	}
+	endPage := r.PageOf(hi-1) + 1
+	if spanPages := endPage - r.PageOf(lo); int64(readaheadPages) > spanPages {
+		readaheadPages = int(spanPages)
+	}
+	return &SequentialReader{f: r, window: readaheadPages, pos: lo, limit: hi, endPage: endPage}
 }
 
 // Next returns a view of the next record (valid until the following Next
 // call refills the buffer); ok is false after the last record.
 func (s *SequentialReader) Next() (rec []byte, ok bool, err error) {
-	if s.pos >= s.f.count {
+	if s.pos >= s.limit {
 		return nil, false, nil
 	}
 	page := s.pos / int64(s.f.perPage)
@@ -417,7 +458,7 @@ func (s *SequentialReader) refill(page int64) error {
 		s.buf = make([]byte, s.window*s.f.pageSize)
 	}
 	n := int64(s.window)
-	if rest := s.f.NumPages() - page; rest < n {
+	if rest := s.endPage - page; rest < n {
 		n = rest
 	}
 	if _, err := s.f.f.ReadAt(s.buf[:n*int64(s.f.pageSize)], page*int64(s.f.pageSize)); err != nil {

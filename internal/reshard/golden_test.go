@@ -83,3 +83,51 @@ func TestReshardGoldenPassthrough(t *testing.T) {
 		}
 	}
 }
+
+// TestReshardGoldenPartitionedWorkers proves worker count is purely a
+// wall-time knob: resharding two identical stores with Workers=1 (fully
+// sequential — one spool part per source, sequential destination builds)
+// and Workers=8 (partitioned spooling and partitioned destination
+// builds) must leave byte-identical destination engines, file for file.
+func TestReshardGoldenPartitionedWorkers(t *testing.T) {
+	const accounts, blocks, toShards = 40, 60, 3
+	dirs := map[int]string{1: t.TempDir(), 8: t.TempDir()}
+	for w, dir := range dirs {
+		buildStore(t, dir, 2, blocks, accounts, false)
+		if _, err := reshard.Reshard(dir, toShards, reshard.Options{MemCapacity: testMemCap, Workers: w}); err != nil {
+			t.Fatalf("reshard with %d workers: %v", w, err)
+		}
+	}
+	n, gen, pinned, err := shard.PersistedLayout(dirs[1])
+	if err != nil || !pinned || n != toShards {
+		t.Fatalf("layout after reshard: n=%d pinned=%v err=%v", n, pinned, err)
+	}
+	for j := 0; j < n; j++ {
+		seqDir := shard.EngineDir(dirs[1], gen, n, j)
+		parDir := shard.EngineDir(dirs[8], gen, n, j)
+		seqEntries, err := os.ReadDir(seqDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parEntries, err := os.ReadDir(parDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seqEntries) != len(parEntries) {
+			t.Fatalf("shard %d: file sets differ: %d vs %d", j, len(seqEntries), len(parEntries))
+		}
+		for _, de := range seqEntries {
+			want, err := os.ReadFile(filepath.Join(seqDir, de.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(filepath.Join(parDir, de.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("shard %d: %s differs between 1-worker and 8-worker reshards", j, de.Name())
+			}
+		}
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -89,8 +90,12 @@ type Options struct {
 	// CachePages bounds each rebuilt run's page cache during the build
 	// (0 = 16).
 	CachePages int
-	// Workers bounds how many source shards are streamed — and how many
-	// destination shards are built — concurrently (0 = GOMAXPROCS).
+	// Workers bounds the rewrite's concurrency (0 = GOMAXPROCS). With
+	// more workers than source (or destination) shards, the surplus goes
+	// to key-range partitioning inside each shard: source streams spool
+	// in parallel parts, and destination runs are built by parallel span
+	// workers (run.BuildPartitioned), so the wall time keeps dropping
+	// even when the shard counts are small.
 	Workers int
 	// FailPoint, when set, is invoked before each install step with the
 	// step name; returning an error aborts the reshard at exactly that
@@ -280,6 +285,14 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 	// of N small sorted files per destination. One sequential read of the
 	// source, one sequential write of the spools — no M-fold re-reading
 	// and no cross-merge deadlocks.
+	//
+	// With more workers than source shards, each source's merged stream
+	// is itself cut into key-ordered parts (run.PlanRuns — the same range
+	// planner the engine's partitioned merges use) and the parts spool
+	// concurrently, so a reshard of a few big shards no longer serializes
+	// on per-shard streams. Every key of part p precedes every key of
+	// part p+1, so reading a (source,destination) spool chain back in
+	// part order is still one sorted stream.
 	if err := opts.fail(StepSpool); err != nil {
 		return nil, err
 	}
@@ -287,14 +300,41 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 	if err := os.MkdirAll(spoolDir, 0o755); err != nil {
 		return nil, err
 	}
-	counts := make([][]int64, n)
-	for i := range counts {
-		counts[i] = make([]int64, shards)
+	workers := opts.workers()
+	parts := 1
+	if workers > n {
+		parts = (workers + n - 1) / n
 	}
-	err = forEachPar(opts.workers(), n, func(i int) error {
+	type spoolTask struct {
+		src, part int
+		sp        run.Span
+	}
+	var tasks []spoolTask
+	srcParts := make([]int, n) // how many parts source i was actually cut into
+	for i := 0; i < n; i++ {
 		if len(srcRuns[i]) == 0 {
-			return nil
+			continue
 		}
+		spans, err := run.PlanRuns(srcRuns[i], parts, opts.PageSize)
+		if err != nil {
+			return nil, fmt.Errorf("reshard: plan source shard %d: %w", i, err)
+		}
+		srcParts[i] = len(spans)
+		for p, sp := range spans {
+			tasks = append(tasks, spoolTask{src: i, part: p, sp: sp})
+		}
+	}
+	// counts[i][j][p] counts source i's entries routed to destination j by
+	// part; tasks write disjoint (i,·,p) slots, so no locking.
+	counts := make([][][]int64, n)
+	for i := range counts {
+		counts[i] = make([][]int64, shards)
+		for j := range counts[i] {
+			counts[i][j] = make([]int64, srcParts[i])
+		}
+	}
+	err = forEachPar(workers, len(tasks), func(ti int) error {
+		t := tasks[ti]
 		writers := make([]*spoolWriter, shards)
 		defer func() {
 			for _, w := range writers {
@@ -303,7 +343,7 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 				}
 			}
 		}()
-		it := run.MergeRuns(srcRuns[i])
+		it := run.MergeRunsRange(srcRuns[t.src], t.sp)
 		for {
 			e, ok := it.Next()
 			if !ok {
@@ -314,11 +354,11 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 			// instead of re-running SHA-256 over every entry.
 			leaf, err := it.LeafHash()
 			if err != nil {
-				return fmt.Errorf("source shard %d: %w", i, err)
+				return fmt.Errorf("source shard %d: %w", t.src, err)
 			}
 			j := shard.ShardOf(e.Key.Addr, shards)
 			if writers[j] == nil {
-				w, err := newSpoolWriter(spoolPath(spoolDir, i, j))
+				w, err := newSpoolWriter(spoolPath(spoolDir, t.src, j, t.part))
 				if err != nil {
 					return err
 				}
@@ -327,10 +367,10 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 			if err := writers[j].add(e, leaf); err != nil {
 				return err
 			}
-			counts[i][j]++
+			counts[t.src][j][t.part]++
 		}
 		if err := it.Err(); err != nil {
-			return fmt.Errorf("source shard %d: %w", i, err)
+			return fmt.Errorf("source shard %d: %w", t.src, err)
 		}
 		for j, w := range writers {
 			if w == nil {
@@ -349,14 +389,20 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 
 	// Phase 2 — build: per destination, merge its spools and install a
 	// complete engine directory (bottom-level run + manifest) in one
-	// streaming pass.
+	// streaming pass. Spare workers partition each destination's build by
+	// key range: the spool chains are positionally addressable, so the
+	// same planner cuts them into spans and run.BuildPartitioned writes
+	// the run's slices concurrently — byte-identical to the sequential
+	// build.
 	if err := opts.fail(StepBuild); err != nil {
 		return nil, err
 	}
 	perShard := make([]int64, shards)
 	for j := 0; j < shards; j++ {
 		for i := 0; i < n; i++ {
-			perShard[j] += counts[i][j]
+			for _, c := range counts[i][j] {
+				perShard[j] += c
+			}
 		}
 	}
 	destOpts := core.Options{
@@ -369,28 +415,52 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 		AsyncMerge:  base.Async,
 		OptimalPLA:  opts.OptimalPLA,
 	}
-	err = forEachPar(opts.workers(), shards, func(j int) error {
-		var sources []run.Iterator
-		var files []*spoolIterator
+	destWidth := 1
+	if workers > shards {
+		destWidth = (workers + shards - 1) / shards
+	}
+	err = forEachPar(workers, shards, func(j int) error {
+		var chains []*spoolChain
 		defer func() {
-			for _, f := range files {
-				f.close()
+			for _, c := range chains {
+				c.close()
 			}
 		}()
 		for i := 0; i < n; i++ {
-			if counts[i][j] == 0 {
-				continue
-			}
-			it, err := openSpool(spoolPath(spoolDir, i, j))
+			chain, err := openSpoolChain(spoolDir, i, j, counts[i][j])
 			if err != nil {
 				return err
 			}
-			files = append(files, it)
-			sources = append(sources, it)
+			if chain != nil {
+				chains = append(chains, chain)
+			}
 		}
 		o := destOpts
 		o.Dir = shard.EngineDir(dir, newGen, shards, j)
-		return core.InstallBulk(o, height, perShard[j], run.Merge(sources...))
+		return core.InstallBulkFrom(o, height, perShard[j], func(rdir string, id uint64, params run.Params) (*run.Run, error) {
+			sources := make([]run.PlanSource, len(chains))
+			for si, c := range chains {
+				sources[si] = c
+			}
+			spans, err := run.Plan(sources, destWidth, params.PageSize)
+			if err != nil {
+				return nil, err
+			}
+			// Destination builds already run on their own bounded
+			// goroutines (forEachPar holds no scheduler slots), so span
+			// workers spawn plainly and the parent just blocks on the
+			// join — no Yield needed.
+			par := run.Parallel{Spawn: func(fn func()) { go fn() }}
+			return run.BuildPartitioned(rdir, id, perShard[j], params, spans, func(sp run.Span) (run.Iterator, error) {
+				var its []run.Iterator
+				for si, c := range chains {
+					if sp.SrcHi[si] > sp.SrcLo[si] {
+						its = append(its, c.iterRange(sp.SrcLo[si], sp.SrcHi[si]))
+					}
+				}
+				return run.Merge(its...), nil
+			}, par)
+		})
 	})
 	if err != nil {
 		return nil, fmt.Errorf("reshard: build: %w", err)
@@ -510,16 +580,18 @@ func forEachPar(workers, n int, fn func(i int) error) error {
 // ---- spool files ----
 //
 // A spool is a flat sequence of fixed-size records in sorted key order —
-// the slice of one source shard's stream that routes to one destination
-// shard. Each record is an encoded entry followed by its Merkle leaf
-// hash as read from the source run's .mrk file, so the destination
-// build's hash passthrough survives the demultiplexing hop.
+// the slice of one source shard's stream (one key-range part of it) that
+// routes to one destination shard. Each record is an encoded entry
+// followed by its Merkle leaf hash as read from the source run's .mrk
+// file, so the destination build's hash passthrough survives the
+// demultiplexing hop. The part spools of one (source,destination) pair
+// concatenated in part order form one sorted stream — a spool chain.
 
 // spoolRecSize is one spool record: entry bytes + leaf hash.
 const spoolRecSize = types.EntrySize + types.HashSize
 
-func spoolPath(spoolDir string, src, dst int) string {
-	return filepath.Join(spoolDir, fmt.Sprintf("s%03d-d%03d.ent", src, dst))
+func spoolPath(spoolDir string, src, dst, part int) string {
+	return filepath.Join(spoolDir, fmt.Sprintf("s%03d-d%03d-p%03d.ent", src, dst, part))
 }
 
 type spoolWriter struct {
@@ -553,35 +625,108 @@ func (s *spoolWriter) finish() error {
 
 func (s *spoolWriter) abort() { s.f.Close() }
 
-// spoolIterator streams a spool back; it implements run.ErrIterator so
-// read failures propagate through the destination merge, and
-// run.HashedIterator so the spooled leaf hashes reach the destination
-// run builder.
-type spoolIterator struct {
-	f    *os.File
-	r    *bufio.Reader
-	buf  [spoolRecSize]byte
-	leaf types.Hash
-	err  error
+// spoolChain is one (source,destination) stream reassembled from its
+// part spools: a positionally addressable run.PlanSource over the
+// fixed-size records spanning the chained files, plus bounded range
+// iterators for the partitioned destination build.
+type spoolChain struct {
+	files []*os.File
+	cum   []int64 // cum[k] = records before file k; len = len(files)+1
 }
 
-func openSpool(path string) (*spoolIterator, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+// openSpoolChain opens source src's spool parts for destination dst in
+// part order (parts are key-ordered, so the chain is one sorted stream).
+// Returns nil when the source routed nothing to this destination.
+func openSpoolChain(spoolDir string, src, dst int, partCounts []int64) (*spoolChain, error) {
+	c := &spoolChain{cum: []int64{0}}
+	for p, cnt := range partCounts {
+		if cnt == 0 {
+			continue
+		}
+		f, err := os.Open(spoolPath(spoolDir, src, dst, p))
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		c.files = append(c.files, f)
+		c.cum = append(c.cum, c.cum[len(c.cum)-1]+cnt)
 	}
-	return &spoolIterator{f: f, r: bufio.NewReaderSize(f, 1<<20)}, nil
+	if len(c.files) == 0 {
+		return nil, nil
+	}
+	return c, nil
+}
+
+func (c *spoolChain) close() {
+	for _, f := range c.files {
+		f.Close()
+	}
+}
+
+// Count implements run.PlanSource.
+func (c *spoolChain) Count() int64 { return c.cum[len(c.cum)-1] }
+
+// fileOf locates the chained file holding record pos.
+func (c *spoolChain) fileOf(pos int64) (int, error) {
+	if pos < 0 || pos >= c.Count() {
+		return 0, fmt.Errorf("reshard: spool position %d out of range [0,%d)", pos, c.Count())
+	}
+	return sort.Search(len(c.files), func(k int) bool { return c.cum[k+1] > pos }), nil
+}
+
+// KeyAt implements run.PlanSource: one uncached positional read of the
+// record's key prefix.
+func (c *spoolChain) KeyAt(pos int64) (types.CompoundKey, error) {
+	k, err := c.fileOf(pos)
+	if err != nil {
+		return types.CompoundKey{}, err
+	}
+	var buf [types.CompoundKeySize]byte
+	if _, err := c.files[k].ReadAt(buf[:], (pos-c.cum[k])*spoolRecSize); err != nil {
+		return types.CompoundKey{}, err
+	}
+	return types.DecodeCompoundKey(buf[:])
+}
+
+// iterRange streams records [lo,hi) of the chain; like the whole-spool
+// iterator it replaces, it implements run.ErrIterator so read failures
+// propagate through the destination merge, and run.HashedIterator so the
+// spooled leaf hashes reach the destination run builder.
+func (c *spoolChain) iterRange(lo, hi int64) *spoolRangeIterator {
+	return &spoolRangeIterator{c: c, pos: lo, hi: hi}
+}
+
+type spoolRangeIterator struct {
+	c       *spoolChain
+	pos, hi int64
+	k       int           // current file index, valid while r != nil
+	r       *bufio.Reader // positioned at pos within file k
+	buf     [spoolRecSize]byte
+	leaf    types.Hash
+	err     error
 }
 
 // Next implements run.Iterator.
-func (s *spoolIterator) Next() (types.Entry, bool) {
-	if s.err != nil {
+func (s *spoolRangeIterator) Next() (types.Entry, bool) {
+	if s.err != nil || s.pos >= s.hi {
 		return types.Entry{}, false
 	}
-	if _, err := io.ReadFull(s.r, s.buf[:]); err != nil {
-		if err != io.EOF {
+	if s.r == nil {
+		// (Re)position: wrap a section reader over the file holding pos,
+		// from pos's offset to the file's end.
+		k, err := s.c.fileOf(s.pos)
+		if err != nil {
 			s.err = err
+			return types.Entry{}, false
 		}
+		s.k = k
+		off := (s.pos - s.c.cum[k]) * spoolRecSize
+		size := (s.c.cum[k+1]-s.c.cum[k])*spoolRecSize - off
+		s.r = bufio.NewReaderSize(io.NewSectionReader(s.c.files[k], off, size), 1<<18)
+	}
+	if _, err := io.ReadFull(s.r, s.buf[:]); err != nil {
+		// EOF is an error here too: the range promised records up to hi.
+		s.err = fmt.Errorf("reshard: spool read at %d: %w", s.pos, err)
 		return types.Entry{}, false
 	}
 	e, err := types.DecodeEntry(s.buf[:types.EntrySize])
@@ -590,17 +735,19 @@ func (s *spoolIterator) Next() (types.Entry, bool) {
 		return types.Entry{}, false
 	}
 	copy(s.leaf[:], s.buf[types.EntrySize:])
+	s.pos++
+	if s.pos < s.hi && s.pos == s.c.cum[s.k+1] {
+		s.r = nil // crossed a part boundary; reposition on the next call
+	}
 	return e, true
 }
 
 // Hashed implements run.HashedIterator.
-func (s *spoolIterator) Hashed() bool { return true }
+func (s *spoolRangeIterator) Hashed() bool { return true }
 
 // LeafHash implements run.HashedIterator: the leaf hash spooled with the
 // entry most recently returned by Next.
-func (s *spoolIterator) LeafHash() (types.Hash, error) { return s.leaf, nil }
+func (s *spoolRangeIterator) LeafHash() (types.Hash, error) { return s.leaf, nil }
 
 // Err implements run.ErrIterator.
-func (s *spoolIterator) Err() error { return s.err }
-
-func (s *spoolIterator) close() { s.f.Close() }
+func (s *spoolRangeIterator) Err() error { return s.err }

@@ -1,0 +1,330 @@
+package run
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"cole/internal/bloom"
+	"cole/internal/mht"
+	"cole/internal/pagefile"
+	"cole/internal/pla"
+	"cole/internal/types"
+)
+
+// Parallel supplies the scheduling hooks of a partitioned build. Both
+// funcs are optional: a nil Spawn runs span builds inline (sequentially)
+// and a nil Yield blocks the caller directly.
+type Parallel struct {
+	// Spawn schedules one span build; implementations must run fn exactly
+	// once (typically on a merge-pool worker).
+	Spawn func(fn func())
+	// Yield is called around the join that waits for every spawned span.
+	// A caller that itself occupies a merge-pool slot releases it here so
+	// its own spans can run on a single-worker pool without deadlock.
+	Yield func(wait func())
+}
+
+func (p Parallel) spawn(fn func()) {
+	if p.Spawn == nil {
+		fn()
+		return
+	}
+	p.Spawn(fn)
+}
+
+func (p Parallel) yield(wait func()) {
+	if p.Yield == nil {
+		wait()
+		return
+	}
+	p.Yield(wait)
+}
+
+// spanResult is what one span build hands the stitcher.
+type spanResult struct {
+	filter *bloom.Filter
+	minKey types.CompoundKey
+	maxKey types.CompoundKey
+	err    error
+}
+
+// BuildPartitioned builds a run from a planned set of key-range spans,
+// fanning the span builds across the Parallel hooks. openSpan returns
+// the sorted entry iterator of one span (its bounded k-way merge). The
+// output is byte-identical to Build over the concatenated spans:
+//
+//   - value file: spans cut on page boundaries, each worker writes its
+//     pages at final offsets in a pre-sized shared file;
+//   - Merkle file: span writers produce every node their leaf range
+//     owns at its final layer offset; the boundary straddlers are
+//     stitched bottom-up afterwards;
+//   - Bloom filter: per-span filters with the full-count geometry,
+//     unioned (bit OR is order-independent and idempotent);
+//   - learned index: rebuilt sequentially from the merged keys read
+//     back from the shared value file — PLA segmentation depends on
+//     every preceding key, so this is the one stage that stays
+//     sequential; it reads what was just written (page-cache warm)
+//     instead of re-merging the sources.
+func BuildPartitioned(dir string, id uint64, count int64, params Params, spans []Span,
+	openSpan func(Span) (Iterator, error), par Parallel) (*Run, error) {
+	params = params.withDefaults()
+	if params.Fanout < 2 {
+		return nil, fmt.Errorf("run: MHT fanout %d < 2", params.Fanout)
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("run: empty runs are not built (count=%d)", count)
+	}
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("run: partitioned build with no spans")
+	}
+	if len(spans) == 1 {
+		it, err := openSpan(spans[0])
+		if err != nil {
+			return nil, err
+		}
+		return Build(dir, id, count, params, it)
+	}
+	var spanned int64
+	for _, sp := range spans {
+		spanned += sp.Hi - sp.Lo
+	}
+	if spanned != count {
+		return nil, fmt.Errorf("run: spans cover %d entries, expected %d", spanned, count)
+	}
+
+	perPage := int64(pagefile.PerPage(params.PageSize, types.EntrySize))
+	wbufPages := params.WriteBufferPages
+	if vp := (count + perPage - 1) / perPage; int64(wbufPages) > vp {
+		wbufPages = int(vp)
+	}
+
+	valW, err := pagefile.CreateShared(valuePath(dir, id), params.PageSize, types.EntrySize, count)
+	if err != nil {
+		return nil, err
+	}
+	mrkW, err := mht.CreateShared(merklePath(dir, id), count, params.Fanout, wbufPages*params.PageSize)
+	if err != nil {
+		valW.Abort()
+		return nil, err
+	}
+	abort := func() {
+		valW.Abort()
+		mrkW.Abort()
+		os.Remove(indexPath(dir, id))
+		os.Remove(metaPath(dir, id))
+	}
+
+	results := make([]spanResult, len(spans))
+	var wg sync.WaitGroup
+	for i := range spans {
+		wg.Add(1)
+		i := i
+		par.spawn(func() {
+			defer wg.Done()
+			results[i] = buildSpan(valW, mrkW, count, params, wbufPages, spans[i], openSpan)
+		})
+	}
+	par.yield(wg.Wait)
+
+	for i, res := range results {
+		if res.err != nil {
+			abort()
+			return nil, fmt.Errorf("run: span %d [%d,%d): %w", i, spans[i].Lo, spans[i].Hi, res.err)
+		}
+		if i > 0 && !results[i-1].maxKey.Less(res.minKey) {
+			abort()
+			return nil, fmt.Errorf("run: span %d starts at %v, not above previous max %v",
+				i, res.minKey, results[i-1].maxKey)
+		}
+	}
+
+	// Sequential index rebuild over the freshly written value file.
+	layers, err := buildIndexFromValues(dir, id, count, params, wbufPages, valW)
+	if err != nil {
+		abort()
+		return nil, err
+	}
+	if err := valW.Finish(); err != nil {
+		abort()
+		return nil, err
+	}
+
+	leafSpans := make([][2]int64, len(spans))
+	for i, sp := range spans {
+		leafSpans[i] = [2]int64{sp.Lo, sp.Hi}
+	}
+	root, err := mrkW.Stitch(leafSpans)
+	if err != nil {
+		abort()
+		return nil, err
+	}
+
+	filter := results[0].filter
+	for _, res := range results[1:] {
+		if err := filter.Union(res.filter); err != nil {
+			abort()
+			return nil, err
+		}
+	}
+	if filter.Entries() != uint64(count) {
+		abort()
+		return nil, fmt.Errorf("run: unioned filter holds %d entries, expected %d", filter.Entries(), count)
+	}
+
+	meta := runMeta{
+		Count:  count,
+		Fanout: params.Fanout,
+		Layers: layers,
+		Root:   root,
+		Bloom:  filter.Marshal(),
+		MinKey: results[0].minKey,
+		MaxKey: results[len(results)-1].maxKey,
+		PageSz: params.PageSize,
+	}
+	if err := writeMeta(metaPath(dir, id), meta); err != nil {
+		abort()
+		return nil, err
+	}
+	return Open(dir, id, params)
+}
+
+// buildSpan streams one span's merged entries into its slices of the
+// shared value and Merkle files, and builds its Bloom contribution.
+func buildSpan(valW *pagefile.SharedWriter, mrkW *mht.SharedWriter, count int64, params Params,
+	wbufPages int, sp Span, openSpan func(Span) (Iterator, error)) (res spanResult) {
+	fail := func(err error) spanResult {
+		res.err = err
+		return res
+	}
+	seg, err := valW.Segment(sp.Lo, wbufPages)
+	if err != nil {
+		return fail(err)
+	}
+	mspan, err := mrkW.Span(sp.Lo, sp.Hi)
+	if err != nil {
+		return fail(err)
+	}
+	src, err := openSpan(sp)
+	if err != nil {
+		return fail(err)
+	}
+
+	// The span filter gets the full run's geometry so the union marshals
+	// byte-identically to one sequential pass.
+	filter := bloom.New(int(count), params.BloomFP)
+
+	var hashSrc HashedIterator
+	if h, ok := src.(HashedIterator); ok && h.Hashed() && !params.LegacyCompaction {
+		hashSrc = h
+	}
+
+	want := sp.Hi - sp.Lo
+	var seen int64
+	entryBuf := make([]byte, types.EntrySize)
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		if seen >= want {
+			return fail(fmt.Errorf("span yielded more than %d entries", want))
+		}
+		sameAddr := seen > 0 && e.Key.Addr == res.maxKey.Addr && !params.LegacyCompaction
+		if seen == 0 {
+			res.minKey = e.Key
+		}
+		res.maxKey = e.Key
+		types.EncodeEntry(entryBuf, e)
+		if err := seg.Append(entryBuf); err != nil {
+			return fail(err)
+		}
+		var leaf types.Hash
+		if hashSrc != nil {
+			if leaf, err = hashSrc.LeafHash(); err != nil {
+				return fail(err)
+			}
+		} else {
+			leaf = types.HashEntry(e)
+		}
+		if err := mspan.Add(leaf); err != nil {
+			return fail(err)
+		}
+		// A span whose first entries continue the previous span's address
+		// re-Adds it: the bit pattern is idempotent and both paths count
+		// one entry, so the union stays byte-identical.
+		if sameAddr {
+			filter.AddRepeat()
+		} else {
+			filter.Add(e.Key.Addr)
+		}
+		seen++
+	}
+	if err := sourceErr(src); err != nil {
+		return fail(err)
+	}
+	if seen != want {
+		return fail(fmt.Errorf("span yielded %d entries, expected %d", seen, want))
+	}
+	if err := seg.Close(); err != nil {
+		return fail(err)
+	}
+	if err := mspan.Close(); err != nil {
+		return fail(err)
+	}
+	res.filter = filter
+	return res
+}
+
+// buildIndexFromValues streams the shared value file's keys (still warm
+// in the page cache) through the standard PLA construction — identical,
+// by construction, to the index the sequential builder would emit.
+func buildIndexFromValues(dir string, id uint64, count int64, params Params,
+	wbufPages int, valW *pagefile.SharedWriter) ([]layerMeta, error) {
+	idxW, err := pagefile.CreateWriterSize(indexPath(dir, id), params.PageSize, pla.ModelSize, wbufPages)
+	if err != nil {
+		return nil, err
+	}
+	ib := newIndexBuilder(idxW, params)
+	epsVal := pagefile.Epsilon(params.PageSize, types.EntrySize)
+	builder, err := newSegmentBuilder(params.OptimalPLA, epsVal, ib.writeModel)
+	if err != nil {
+		idxW.Abort()
+		return nil, err
+	}
+	reader := valW.Reader(params.MergeReadahead)
+	for pos := int64(0); pos < count; pos++ {
+		rec, ok, err := reader.Next()
+		if err != nil {
+			idxW.Abort()
+			return nil, err
+		}
+		if !ok {
+			idxW.Abort()
+			return nil, fmt.Errorf("run: value read-back ended at %d of %d entries", pos, count)
+		}
+		k, err := types.DecodeCompoundKey(rec[:types.CompoundKeySize])
+		if err != nil {
+			idxW.Abort()
+			return nil, err
+		}
+		if err := builder.Add(k, pos); err != nil {
+			idxW.Abort()
+			return nil, err
+		}
+	}
+	if err := builder.Finish(); err != nil {
+		idxW.Abort()
+		return nil, err
+	}
+	layers, err := ib.finishLayers()
+	if err != nil {
+		idxW.Abort()
+		return nil, err
+	}
+	if err := idxW.Finish(); err != nil {
+		idxW.Abort()
+		return nil, err
+	}
+	return layers, nil
+}

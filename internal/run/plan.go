@@ -1,0 +1,251 @@
+package run
+
+import (
+	"fmt"
+	"sort"
+
+	"cole/internal/pagefile"
+	"cole/internal/types"
+)
+
+// This file implements the range planner of partitioned merges: given k
+// sorted sources, cut the merged key space into W spans of near-equal
+// output size whose boundaries fall on output page boundaries, and find
+// the exact per-source positions of every boundary. Each span can then
+// be k-way merged independently (bounded sub-iterators) and its output
+// written at final offsets — the union of the spans IS the sequential
+// merge, record for record.
+
+// PlanSource is a sorted source the planner can probe positionally.
+// *Run implements it; so do reshard's spool chains.
+type PlanSource interface {
+	// Count returns the number of entries.
+	Count() int64
+	// KeyAt returns the compound key of the entry at a position.
+	KeyAt(pos int64) (types.CompoundKey, error)
+}
+
+// Span is one key-range partition of a planned merge. [Lo, Hi) are
+// merged-output positions; SrcLo[i]/SrcHi[i] bound source i's
+// contribution, with Hi-Lo = Σ (SrcHi[i]-SrcLo[i]).
+type Span struct {
+	Lo, Hi int64
+	SrcLo  []int64
+	SrcHi  []int64
+}
+
+// planSamples is how many boundary keys the planner samples per source.
+// Samples only seed the cut search; a mini k-way advance refines each
+// cut to its exact rank afterwards, so the count trades planning reads
+// against refinement reads, not accuracy.
+const planSamples = 512
+
+// Plan cuts the merged output of the sources into at most width spans of
+// near-equal size, every interior boundary a multiple of the value
+// file's records-per-page so span outputs never share a page. Returns
+// fewer spans (down to one) when the input is too small to cut.
+func Plan(sources []PlanSource, width int, pageSize int) ([]Span, error) {
+	if pageSize == 0 {
+		pageSize = pagefile.DefaultPageSize
+	}
+	perPage := int64(pagefile.PerPage(pageSize, types.EntrySize))
+	var total int64
+	for _, s := range sources {
+		total += s.Count()
+	}
+	if total < 1 {
+		return nil, fmt.Errorf("run: planning a merge of %d entries", total)
+	}
+	if width < 1 {
+		width = 1
+	}
+	numPages := (total + perPage - 1) / perPage
+
+	// Interior cuts: page-aligned output ranks splitting the page count
+	// as evenly as integers allow. Duplicate or zero cuts (tiny inputs)
+	// collapse into fewer spans.
+	var cuts []int64
+	for c := int64(1); c < int64(width); c++ {
+		cut := (c * numPages / int64(width)) * perPage
+		if cut > 0 && cut < total && (len(cuts) == 0 || cut > cuts[len(cuts)-1]) {
+			cuts = append(cuts, cut)
+		}
+	}
+
+	n := len(sources)
+	zeros := make([]int64, n)
+	ends := make([]int64, n)
+	for i, s := range sources {
+		ends[i] = s.Count()
+	}
+	if len(cuts) == 0 {
+		return []Span{{Lo: 0, Hi: total, SrcLo: zeros, SrcHi: ends}}, nil
+	}
+
+	samples, err := collectSamples(sources)
+	if err != nil {
+		return nil, err
+	}
+
+	spans := make([]Span, 0, len(cuts)+1)
+	prev := Span{Lo: 0, SrcLo: zeros}
+	for _, cut := range cuts {
+		pos, err := positionsAtRank(sources, samples, cut)
+		if err != nil {
+			return nil, err
+		}
+		prev.Hi = cut
+		prev.SrcHi = pos
+		spans = append(spans, prev)
+		prev = Span{Lo: cut, SrcLo: pos}
+	}
+	prev.Hi = total
+	prev.SrcHi = ends
+	return append(spans, prev), nil
+}
+
+// PlanRuns plans a partitioned merge of whole runs.
+func PlanRuns(runs []*Run, width int, pageSize int) ([]Span, error) {
+	srcs := make([]PlanSource, len(runs))
+	for i, r := range runs {
+		srcs[i] = r
+	}
+	return Plan(srcs, width, pageSize)
+}
+
+// MergeRunsRange merges the runs' sub-iterators over one planned span.
+func MergeRunsRange(runs []*Run, sp Span) *MergeIterator {
+	its := make([]Iterator, 0, len(runs))
+	for i, r := range runs {
+		if sp.SrcHi[i] > sp.SrcLo[i] {
+			its = append(its, r.IterRange(sp.SrcLo[i], sp.SrcHi[i]))
+		}
+	}
+	return Merge(its...)
+}
+
+// collectSamples reads up to planSamples evenly spaced keys per source
+// and sorts them globally.
+func collectSamples(sources []PlanSource) ([]types.CompoundKey, error) {
+	var keys []types.CompoundKey
+	for _, s := range sources {
+		cnt := s.Count()
+		take := int64(planSamples)
+		if take > cnt {
+			take = cnt
+		}
+		prev := int64(-1)
+		for j := int64(0); j < take; j++ {
+			pos := j * cnt / take
+			if pos == prev {
+				continue
+			}
+			prev = pos
+			k, err := s.KeyAt(pos)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	return keys, nil
+}
+
+// lowerBound returns the first position in s whose key is ≥ k.
+func lowerBound(s PlanSource, k types.CompoundKey) (int64, error) {
+	lo, hi := int64(0), s.Count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		km, err := s.KeyAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if km.Less(k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// rankOf returns, per source, how many entries sort strictly below k,
+// plus the total.
+func rankOf(sources []PlanSource, k types.CompoundKey) ([]int64, int64, error) {
+	pos := make([]int64, len(sources))
+	var total int64
+	for i, s := range sources {
+		p, err := lowerBound(s, k)
+		if err != nil {
+			return nil, 0, err
+		}
+		pos[i] = p
+		total += p
+	}
+	return pos, total, nil
+}
+
+// positionsAtRank finds per-source positions pos with Σ pos = rank such
+// that the sources' prefixes hold exactly the rank smallest merged
+// entries: binary-search the sorted samples for the greatest key whose
+// global rank is ≤ rank, then advance the remainder with a mini k-way
+// merge. Keys are globally unique, so the rank-smallest set is unique.
+func positionsAtRank(sources []PlanSource, samples []types.CompoundKey, rank int64) ([]int64, error) {
+	basePos := make([]int64, len(sources))
+	baseRank := int64(0)
+	var searchErr error
+	// First sample whose global rank exceeds the target; its predecessor
+	// is the deepest cheap starting point.
+	idx := sort.Search(len(samples), func(i int) bool {
+		if searchErr != nil {
+			return true
+		}
+		_, r, err := rankOf(sources, samples[i])
+		if err != nil {
+			searchErr = err
+			return true
+		}
+		return r > rank
+	})
+	if searchErr != nil {
+		return nil, searchErr
+	}
+	if idx > 0 {
+		pos, r, err := rankOf(sources, samples[idx-1])
+		if err != nil {
+			return nil, err
+		}
+		basePos, baseRank = pos, r
+	}
+	// Mini k-way advance: pop the globally smallest next key until the
+	// prefixes hold exactly `rank` entries. Caches one key per source so
+	// each step costs one probe.
+	cur := make([]types.CompoundKey, len(sources))
+	have := make([]bool, len(sources))
+	for baseRank < rank {
+		best := -1
+		for i, s := range sources {
+			if basePos[i] >= s.Count() {
+				continue
+			}
+			if !have[i] {
+				k, err := s.KeyAt(basePos[i])
+				if err != nil {
+					return nil, err
+				}
+				cur[i], have[i] = k, true
+			}
+			if best < 0 || cur[i].Less(cur[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("run: plan rank %d exceeds source entries", rank)
+		}
+		basePos[best]++
+		have[best] = false
+		baseRank++
+	}
+	return basePos, nil
+}

@@ -222,25 +222,17 @@ func Build(dir string, id uint64, count int64, params Params, src Iterator) (*Ru
 
 	filter := bloom.New(int(count), params.BloomFP)
 	epsVal := pagefile.Epsilon(params.PageSize, types.EntrySize)
-	epsIdx := pagefile.Epsilon(params.PageSize, pla.ModelSize)
-	modelsPerPage := pagefile.PerPage(params.PageSize, pla.ModelSize)
 
 	// Bottom model layer: learn over (key, value-file position). Collect
 	// each emitted model's (kmin, index-file position) to drive the upper
 	// layers — O(#models) memory, a tiny fraction of the data.
 	var (
-		kmins    []types.CompoundKey
-		seen     int64
-		minKey   types.CompoundKey
-		maxKey   types.CompoundKey
-		modelBuf = make([]byte, pla.ModelSize)
+		seen   int64
+		minKey types.CompoundKey
+		maxKey types.CompoundKey
 	)
-	writeModel := func(m pla.Model) error {
-		m.Encode(modelBuf)
-		kmins = append(kmins, m.KMin)
-		return idxW.Append(modelBuf)
-	}
-	builder, err := newSegmentBuilder(params.OptimalPLA, epsVal, writeModel)
+	ib := newIndexBuilder(idxW, params)
+	builder, err := newSegmentBuilder(params.OptimalPLA, epsVal, ib.writeModel)
 	if err != nil {
 		abort()
 		return nil, err
@@ -309,45 +301,10 @@ func Build(dir string, id uint64, count int64, params Params, src Iterator) (*Ru
 		return nil, err
 	}
 
-	// Upper layers (Algorithm 3): each layer is page-aligned; recurse until
-	// a layer fits in one page. Model positions are global index-file
-	// record slots (page · modelsPerPage + slot), so predictions divide
-	// directly into page numbers.
-	var layers []layerMeta
-	layerStartPage := int64(0)
-	layerModels := int64(len(kmins))
-	for {
-		pages := (layerModels + int64(modelsPerPage) - 1) / int64(modelsPerPage)
-		layers = append(layers, layerMeta{StartPage: layerStartPage, Pages: pages, Models: layerModels})
-		if err := idxW.Pad(); err != nil {
-			abort()
-			return nil, err
-		}
-		if pages <= 1 {
-			break
-		}
-		nextStart := layerStartPage + pages
-		prev := kmins
-		kmins = kmins[:0:0]
-		ub, err := newSegmentBuilder(params.OptimalPLA, epsIdx, writeModel)
-		if err != nil {
-			abort()
-			return nil, err
-		}
-		for j, k := range prev {
-			// Global record slot of lower-layer model j.
-			pos := (layerStartPage+int64(j)/int64(modelsPerPage))*int64(modelsPerPage) + int64(j)%int64(modelsPerPage)
-			if err := ub.Add(k, pos); err != nil {
-				abort()
-				return nil, err
-			}
-		}
-		if err := ub.Finish(); err != nil {
-			abort()
-			return nil, err
-		}
-		layerStartPage = nextStart
-		layerModels = int64(len(kmins))
+	layers, err := ib.finishLayers()
+	if err != nil {
+		abort()
+		return nil, err
 	}
 	if err := idxW.Finish(); err != nil {
 		abort()
@@ -378,6 +335,78 @@ func Build(dir string, id uint64, count int64, params Params, src Iterator) (*Ru
 		return nil, err
 	}
 	return Open(dir, id, params)
+}
+
+// indexBuilder accumulates the bottom model layer of a learned index and
+// builds the page-aligned upper layers over it (Algorithm 3's recursion).
+// Shared by the sequential builder and the partitioned builder's stitch
+// phase — upper-layer construction is identical either way, so the index
+// file is byte-identical by construction.
+type indexBuilder struct {
+	idxW          *pagefile.Writer
+	params        Params
+	kmins         []types.CompoundKey
+	modelBuf      []byte
+	modelsPerPage int
+}
+
+func newIndexBuilder(idxW *pagefile.Writer, params Params) *indexBuilder {
+	return &indexBuilder{
+		idxW:          idxW,
+		params:        params,
+		modelBuf:      make([]byte, pla.ModelSize),
+		modelsPerPage: pagefile.PerPage(params.PageSize, pla.ModelSize),
+	}
+}
+
+// writeModel is the emit hook of the bottom-layer PLA construction: it
+// appends the model to the index file and records its kmin for the
+// upper layers.
+func (b *indexBuilder) writeModel(m pla.Model) error {
+	m.Encode(b.modelBuf)
+	b.kmins = append(b.kmins, m.KMin)
+	return b.idxW.Append(b.modelBuf)
+}
+
+// finishLayers pads out the bottom layer and recurses upward until a
+// layer fits in one page. Model positions are global index-file record
+// slots (page · modelsPerPage + slot), so predictions divide directly
+// into page numbers. The caller still owns idxW.Finish.
+func (b *indexBuilder) finishLayers() ([]layerMeta, error) {
+	epsIdx := pagefile.Epsilon(b.params.PageSize, pla.ModelSize)
+	var layers []layerMeta
+	layerStartPage := int64(0)
+	layerModels := int64(len(b.kmins))
+	for {
+		pages := (layerModels + int64(b.modelsPerPage) - 1) / int64(b.modelsPerPage)
+		layers = append(layers, layerMeta{StartPage: layerStartPage, Pages: pages, Models: layerModels})
+		if err := b.idxW.Pad(); err != nil {
+			return nil, err
+		}
+		if pages <= 1 {
+			break
+		}
+		nextStart := layerStartPage + pages
+		prev := b.kmins
+		b.kmins = b.kmins[:0:0]
+		ub, err := newSegmentBuilder(b.params.OptimalPLA, epsIdx, b.writeModel)
+		if err != nil {
+			return nil, err
+		}
+		for j, k := range prev {
+			// Global record slot of lower-layer model j.
+			pos := (layerStartPage+int64(j)/int64(b.modelsPerPage))*int64(b.modelsPerPage) + int64(j)%int64(b.modelsPerPage)
+			if err := ub.Add(k, pos); err != nil {
+				return nil, err
+			}
+		}
+		if err := ub.Finish(); err != nil {
+			return nil, err
+		}
+		layerStartPage = nextStart
+		layerModels = int64(len(b.kmins))
+	}
+	return layers, nil
 }
 
 // PageSizeOf reads the page size a run was built with from its metadata,
@@ -503,6 +532,29 @@ func (r *Run) Models() int64 {
 // and takes no per-record lock. Read errors surface through Err.
 func (r *Run) Iter() *RunIterator {
 	return &RunIterator{r: r, sr: r.values.SequentialReader(r.params.MergeReadahead)}
+}
+
+// IterRange returns a sequential iterator over value-file positions
+// [lo, hi): the bounded sub-iterator a partitioned merge drives over one
+// key-range span. Its readahead window is clipped to the span's pages,
+// and LeafHash stays position-aligned with the full-run iterator.
+func (r *Run) IterRange(lo, hi int64) *RunIterator {
+	return &RunIterator{
+		r:   r,
+		sr:  r.values.SequentialReaderRange(r.params.MergeReadahead, lo, hi),
+		pos: lo,
+	}
+}
+
+// KeyAt reads just the compound key of the entry at a value-file
+// position with one uncached positional read — the merge range planner's
+// probe, which must not evict concurrent readers' cached pages.
+func (r *Run) KeyAt(pos int64) (types.CompoundKey, error) {
+	var buf [types.EntrySize]byte
+	if err := r.values.RecordAt(pos, buf[:]); err != nil {
+		return types.CompoundKey{}, err
+	}
+	return types.DecodeCompoundKey(buf[:types.CompoundKeySize])
 }
 
 // RunIterator streams a run's entries, and — on demand — the Merkle leaf

@@ -979,6 +979,7 @@ func (s *Store) Stats() core.Stats {
 		st.Merges += es.Merges
 		st.BloomSkips += es.BloomSkips
 		st.MergeWaits += es.MergeWaits
+		st.PartitionWaits += es.PartitionWaits
 		st.FlushBytes += es.FlushBytes
 		st.MergeBytes += es.MergeBytes
 		st.MergeNanos += es.MergeNanos
