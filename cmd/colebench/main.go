@@ -9,11 +9,12 @@
 //	colebench -exp mergesched -merge-workers 8
 //	colebench -exp readscale -readers 8
 //	colebench -exp workloads -duration 5s -conc 8 -shards 4
+//	colebench -exp stalls -duration 5s -pacing-target 8388608
 //	colebench -exp all -json results.json
 //
 // Experiments: fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1
 // mptbreakdown shardscale mergesched readscale reshard compaction
-// workloads all.
+// workloads stalls all.
 // -shards N
 // runs the COLE systems of any experiment over an N-shard store; for
 // shardscale (and the reshard target sweep) it sets the top of the
@@ -38,6 +39,15 @@
 // count, -keys the key population (default: the scale preset's record
 // count), -rate a target ops/s arrival rate (0 = closed loop), and
 // -shards adds a sharded column next to the single-store one.
+//
+// The stalls experiment measures commit tail latency under a sustained
+// open-loop write stream across {paced, unpaced} × {preemptible,
+// monolithic} for both COLE systems: preemptible cells run chunked
+// merges, the pipelined commit, and the sorted L0 bulk-load; paced cells
+// apply compaction-debt backpressure (-pacing-target overrides the
+// auto-sized debt level, -rate the calibrated arrival rate). A
+// digest-identity pass first proves every cell commits byte-identical
+// per-block Hstate digests.
 package main
 
 import (
@@ -51,7 +61,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: fig9..fig15, table1, mptbreakdown, shardscale, mergesched, readscale, reshard, compaction, workloads, all")
+		exp      = flag.String("exp", "all", "experiment id: fig9..fig15, table1, mptbreakdown, shardscale, mergesched, readscale, reshard, compaction, workloads, stalls, all")
 		scale    = flag.String("scale", "quick", "preset scale: quick | lab | paper")
 		blocks   = flag.Int("blocks", 0, "override block count")
 		tx       = flag.Int("tx", 0, "override transactions per block (paper: 100)")
@@ -70,7 +80,8 @@ func main() {
 		warmup   = flag.Duration("warmup", 0, "workloads: unrecorded warm-up before the window (default 200ms)")
 		conc     = flag.Int("conc", 0, "workloads: concurrent reader goroutines (default 4)")
 		keys     = flag.Int("keys", 0, "workloads: key population (default: the scale preset's record count)")
-		rate     = flag.Float64("rate", 0, "workloads: target arrival rate in ops/s (0 = closed loop)")
+		rate     = flag.Float64("rate", 0, "workloads/stalls: target arrival rate in ops/s (0 = closed loop; stalls calibrates its own)")
+		paceTgt  = flag.Int64("pacing-target", 0, "stalls: compaction-debt bytes at which ingest pacing reaches full delay (0 = auto-size from memcap)")
 	)
 	flag.Parse()
 
@@ -110,6 +121,7 @@ func main() {
 		cfg.Keys = *keys
 	}
 	cfg.Rate = *rate
+	cfg.PacingTarget = *paceTgt
 	prov.ScratchDir = *scratch
 
 	var tables []*bench.Table
@@ -226,6 +238,17 @@ func main() {
 		// set); the distribution × mix axis is the default spec set.
 		run("workloads", func() (*bench.Table, error) {
 			return bench.Workloads(cfg, nil, nil, *scratch)
+		})
+		any = true
+	}
+	if all || *exp == "stalls" {
+		// Single-shard by design: the matrix isolates the commit path's
+		// interaction with the merge pool from shard parallelism, and the
+		// pool deliberately defaults to one worker.
+		c := pipelineCfg()
+		c.Shards = 0
+		run("stalls", func() (*bench.Table, error) {
+			return bench.StallBench(c, *scratch)
 		})
 		any = true
 	}

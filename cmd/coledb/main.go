@@ -236,6 +236,16 @@ func main() {
 		}
 		fmt.Printf("page cache:  %d physical reads, %d hits (%.1f%% hit rate; merges bypass the cache)\n",
 			st.PageReads, st.CacheHits, hitRate)
+		// Commit-tail health: mean vs worst commit shows whether checkpoint
+		// stalls ever formed, and the stall/pace split shows whether the
+		// wait was eaten as a cliff (stall) or amortized by ingest pacing.
+		meanCommit := time.Duration(0)
+		if st.Commits > 0 {
+			meanCommit = time.Duration(st.CommitNanos / st.Commits)
+		}
+		fmt.Printf("commit tail: %d commits, mean %s, worst %s; stalled %s, paced %s, %d merge preemptions\n",
+			st.Commits, meanCommit, time.Duration(st.MaxCommitNanos),
+			time.Duration(st.StallNanos), time.Duration(st.PaceNanos), st.Preemptions)
 		fmt.Printf("Hstate:      %s\n", store.RootDigest())
 		if shards := store.ShardStats(); len(shards) > 1 {
 			var totalE, totalB, maxE, maxB int64
@@ -249,14 +259,14 @@ func main() {
 					maxB = ss.Bytes
 				}
 			}
-			fmt.Printf("balance:     per-shard entries / disk bytes / puts / merge waits\n")
+			fmt.Printf("balance:     per-shard entries / disk bytes / puts / merge waits / worst commit\n")
 			for i, ss := range shards {
 				share := 0.0
 				if totalE > 0 {
 					share = 100 * float64(ss.Entries) / float64(totalE)
 				}
-				fmt.Printf("  shard %02d:  %8d (%5.1f%%)  %10d  %8d  %d\n",
-					i, ss.Entries, share, ss.Bytes, ss.Puts, ss.MergeWaits)
+				fmt.Printf("  shard %02d:  %8d (%5.1f%%)  %10d  %8d  %d  %s\n",
+					i, ss.Entries, share, ss.Bytes, ss.Puts, ss.MergeWaits, time.Duration(ss.MaxCommitNanos))
 			}
 			n := int64(len(shards))
 			imbE, imbB := 0.0, 0.0

@@ -75,10 +75,22 @@ func statsDelta(base, now core.Stats) core.Stats {
 	now.Merges -= base.Merges
 	now.BloomSkips -= base.BloomSkips
 	now.MergeWaits -= base.MergeWaits
+	now.PartitionWaits -= base.PartitionWaits
 	now.FlushBytes -= base.FlushBytes
 	now.MergeBytes -= base.MergeBytes
 	now.MergeNanos -= base.MergeNanos
+	now.Commits -= base.Commits
+	now.CommitNanos -= base.CommitNanos
+	now.StallNanos -= base.StallNanos
+	now.PaceNanos -= base.PaceNanos
+	now.Preemptions -= base.Preemptions
 	now.PageReads -= base.PageReads
 	now.CacheHits -= base.CacheHits
+	// MaxCommitNanos is a high-water mark, not a counter: an unchanged
+	// mark means no commit in the window set a new worst, so the window
+	// owns none; a raised mark was set by a commit inside the window.
+	if now.MaxCommitNanos == base.MaxCommitNanos {
+		now.MaxCommitNanos = 0
+	}
 	return now
 }

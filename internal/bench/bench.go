@@ -68,6 +68,11 @@ type SystemSpec struct {
 	// full streaming pipeline, "legacy" reverts to per-entry hashing and
 	// one-page IO granularity (run files stay byte-identical either way).
 	IOMode string
+	// PacingTarget is the compaction-debt level (bytes of in-flight merge
+	// input) at which ingest backpressure reaches its full per-block
+	// delay; 0 disables pacing. The stalls experiment's paced cells
+	// auto-size it from MemCap when the knob is unset.
+	PacingTarget int64
 }
 
 // Config scales an experiment: the engine under test (SystemSpec), the
@@ -260,7 +265,24 @@ type Result struct {
 	ReadLat   *HistSummary   `json:",omitempty"`
 	CommitLat *HistSummary   `json:",omitempty"`
 	Amp       *Amplification `json:",omitempty"`
-	blockLats []time.Duration
+	// Stall measurements (the stalls experiment): Pacing and MergeMode
+	// name the matrix cell ("paced"/"unpaced" × "preemptible"/
+	// "monolithic"), PacingTarget the debt level the paced cells ran
+	// with, Rate the open-loop arrival rate in ops/s, and the counters
+	// are the engine's own session totals — time commits spent blocked
+	// on unfinished merges (StallNanos), time the pacer injected ahead
+	// of writes (PaceNanos), the worst single commit (MaxCommitNanos),
+	// and how often chunked merges handed their worker slot to more
+	// urgent work (Preemptions).
+	Pacing         string  `json:",omitempty"`
+	MergeMode      string  `json:",omitempty"`
+	PacingTarget   int64   `json:",omitempty"`
+	Rate           float64 `json:",omitempty"`
+	StallNanos     int64   `json:",omitempty"`
+	PaceNanos      int64   `json:",omitempty"`
+	MaxCommitNanos int64   `json:",omitempty"`
+	Preemptions    int64   `json:",omitempty"`
+	blockLats      []time.Duration
 }
 
 // backendHandle couples a backend with its measurement hooks.

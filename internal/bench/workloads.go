@@ -20,6 +20,10 @@ type openLoopResult struct {
 	readLat   Hist
 	commitLat Hist
 	amp       Amplification
+	// stats is the engine counter snapshot taken right before the final
+	// FlushAll, so stall/pace/commit counters describe the driven run,
+	// not the shutdown join of whatever merges were still in flight.
+	stats cole.Stats
 }
 
 // readReq is one point read dispatched to a reader worker. issued is the
@@ -196,6 +200,7 @@ func runOpenLoop(db cole.DB, spec workload.Spec) (*openLoopResult, error) {
 
 	// Maintenance accounting: flush so the footprint covers everything
 	// ingested, then derive WA/RA/SA from the engine's own counters.
+	res.stats = db.Stats()
 	if err := db.FlushAll(); err != nil {
 		return nil, err
 	}

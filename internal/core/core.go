@@ -116,6 +116,48 @@ type Options struct {
 	// covers every level of every shard; jobs beyond it queue, and the
 	// resulting back-pressure surfaces as Stats.MergeWaits.
 	MergeWorkers int
+	// MergeChunk is the preemption quantum, in entries, of background
+	// level merges: between chunks a merge probes the scheduler for queued
+	// higher-priority work (an L0 flush a commit checkpoint is waiting on)
+	// and hands its worker slot over before pulling the next chunk. 0
+	// selects the default (16384 entries ≈ 1 MiB); negative disables
+	// chunking entirely (monolithic merges, the pre-preemption behavior,
+	// kept as an ablation knob for the stall benchmark). Chunking never
+	// changes merge output — byte-identical runs at any quantum — only
+	// when a commit can overtake a long merge on a narrow pool.
+	MergeChunk int
+	// PacingTarget is the compaction-debt level, in bytes, at which
+	// ingest pacing reaches full strength. Debt is the entry volume of
+	// all in-flight background merges (work the structure owes before it
+	// is caught up); while debt is nonzero, Commit and PutBatch absorb a
+	// delay that grows smoothly (quadratically) with debt/target, capped
+	// at paceMaxDelay. This converts the rare multi-second commit stall
+	// (a checkpoint landing on an unfinished cascade, Stats.StallNanos)
+	// into many sub-millisecond delays (Stats.PaceNanos) — p99.9 commit
+	// latency drops by orders of magnitude for a few percent of mean
+	// throughput. 0 disables pacing (the default). A reasonable target is
+	// a few cascades' worth of bytes: MemCapacity × EntrySize × SizeRatio.
+	PacingTarget int64
+	// PipelinedCommit overlaps a cascade commit's trailing file I/O — the
+	// manifest write (temp + rename) and the retired runs' unlinks — with
+	// the next block's execution and hashing: the commit marshals the
+	// manifest bytes and publishes the new read view under the lock, then
+	// returns while a background goroutine persists and reclaims. Digests,
+	// manifest bytes, and the "manifest stops naming a run before its
+	// files are unlinked" invariant are all unchanged; the only new crash
+	// window (commit returned, manifest not yet renamed) is already
+	// covered by COLE's replay-from-checkpoint model plus the orphan
+	// sweep on reopen. The next cascade, FlushAll, and Close join the
+	// in-flight I/O first, so manifest writes stay ordered.
+	PipelinedCommit bool
+	// SortedBatch makes PutBatch bulk-load the L0 MB-tree: the deduped
+	// batch is sorted by address and inserted through the tree's sorted
+	// fast path (one descent per leaf instead of one per key). The tree's
+	// shape — and therefore Hstate — depends on insertion order, so this
+	// is a FORMAT-LEVEL choice: digests differ from first-occurrence
+	// order, the setting is recorded in the manifest, and reopening with
+	// a different value fails. Off by default.
+	SortedBatch bool
 	// MergePartitions bounds how many key-range spans one level merge is
 	// cut into and fanned across the merge pool. 1 keeps merges
 	// sequential; 0 (the default) sizes each merge automatically — wide
@@ -270,14 +312,24 @@ type Engine struct {
 	// view after every structural or L0 change.
 	viewPtr atomic.Pointer[view]
 
+	// pendingIO is the in-flight deferred commit I/O of a pipelined
+	// cascade (manifest persist + run retirement); the next cascade,
+	// FlushAll, and Close join it before writing their own manifest.
+	// ioWG additionally tracks the retirement unlinks, which are allowed
+	// to drain past the manifest join; only Close waits them out.
+	pendingIO *commitIO
+	ioWG      sync.WaitGroup
+
 	// sched runs every background flush/merge job; possibly shared with
 	// other engines (one pool across all shards of a sharded store).
 	sched *merge.Scheduler
 
 	// PutBatch dedup scratch, reused across blocks so the hot batch path
-	// stays allocation-free (guarded by mu).
+	// stays allocation-free (guarded by mu). entryBuf is the sorted
+	// bulk-load staging slice of the SortedBatch path.
 	batchIndex map[types.Address]int
 	batchBuf   []Update
+	entryBuf   []types.Entry
 
 	stats Stats // write-path counters, guarded by mu
 	// Read-path counters are atomics: the lock-free read path must never
@@ -289,6 +341,12 @@ type Engine struct {
 	bloomSkips     atomic.Int64
 	mergeWaits     atomic.Int64
 	partitionWaits atomic.Int64
+	// paceNanos accumulates ingest-pacing sleeps (taken outside mu so a
+	// paced writer never blocks Stats); preemptions counts chunked merges
+	// that handed their slot to higher-priority work, incremented from
+	// merge-job goroutines.
+	paceNanos   atomic.Int64
+	preemptions atomic.Int64
 }
 
 // Stats aggregates engine counters for the benchmark harness.
@@ -324,6 +382,24 @@ type Stats struct {
 	FlushBytes int64
 	MergeBytes int64
 	MergeNanos int64
+	// Commits counts committed blocks; CommitNanos their total in-engine
+	// latency (lock acquisition to published view, pacing excluded) and
+	// MaxCommitNanos the single worst commit — the tail the stall
+	// benchmark and `coledb stat` bound.
+	Commits        int64
+	CommitNanos    int64
+	MaxCommitNanos int64
+	// StallNanos is the total time commit checkpoints spent blocked on
+	// unfinished background merges (the slow-node path of Algorithm 5
+	// line 9) — the cliff that pacing and preemption exist to remove.
+	// PaceNanos is the total ingest-pacing delay absorbed smoothly by
+	// Commit/PutBatch instead; with pacing working, StallNanos ≈ 0 while
+	// PaceNanos grows by many small, bounded increments.
+	StallNanos int64
+	PaceNanos  int64
+	// Preemptions counts chunked-merge checkpoints that handed their
+	// worker slot to queued higher-priority work (Options.MergeChunk).
+	Preemptions int64
 	// PageReads / CacheHits aggregate the point-read page-cache counters
 	// (value + index files) across the store's runs: physical 4 KiB reads
 	// vs LRU hits. Streaming merges never touch these caches, so a busy
@@ -387,13 +463,19 @@ type manifest struct {
 	Height uint64 `json:"height"`
 	// Replay is the recovery point: blocks above it must be re-executed
 	// after reopening (see Engine.checkpoint).
-	Replay     uint64       `json:"replay"`
-	NextRunID  uint64       `json:"next_run_id"`
-	MemWriting int          `json:"mem_writing"`
-	Async      bool         `json:"async"`
-	SizeRatio  int          `json:"size_ratio"`
-	Fanout     int          `json:"fanout"`
-	Levels     []levelState `json:"levels"`
+	Replay     uint64 `json:"replay"`
+	NextRunID  uint64 `json:"next_run_id"`
+	MemWriting int    `json:"mem_writing"`
+	Async      bool   `json:"async"`
+	// SortedBatch records whether the store's L0 trees were built through
+	// the sorted bulk-load path (Options.SortedBatch). The tree shape —
+	// and so every published Hstate — depends on insertion order, which
+	// makes this a format bit: reopening with the other setting would
+	// replay blocks into digests that no longer match published headers.
+	SortedBatch bool         `json:"sorted_batch,omitempty"`
+	SizeRatio   int          `json:"size_ratio"`
+	Fanout      int          `json:"fanout"`
+	Levels      []levelState `json:"levels"`
 	// Roots is the persisted tail of the engine's root history (oldest
 	// first): the Hstate digests of recent commits, used during replay to
 	// reconstruct historical combined digests for shards that skip
@@ -451,6 +533,9 @@ func (e *Engine) loadManifest() error {
 	if m.Async != e.opts.AsyncMerge {
 		return fmt.Errorf("core: store was created with async=%v, reopened with async=%v", m.Async, e.opts.AsyncMerge)
 	}
+	if m.SortedBatch != e.opts.SortedBatch {
+		return fmt.Errorf("core: store was created with sorted_batch=%v, reopened with sorted_batch=%v (L0 digests depend on insertion order)", m.SortedBatch, e.opts.SortedBatch)
+	}
 	if m.SizeRatio != e.opts.SizeRatio || m.Fanout != e.opts.Fanout {
 		return fmt.Errorf("core: store parameters T=%d m=%d do not match requested T=%d m=%d",
 			m.SizeRatio, m.Fanout, e.opts.SizeRatio, e.opts.Fanout)
@@ -487,16 +572,21 @@ func (e *Engine) loadManifest() error {
 	return nil
 }
 
-func (e *Engine) writeManifest() error {
+// marshalManifestLocked serializes the current structure. Split from the
+// file write so a pipelined commit can capture the exact bytes under the
+// lock and persist them on a background goroutine — the durable manifest
+// is byte-identical whether written inline or deferred.
+func (e *Engine) marshalManifestLocked() ([]byte, error) {
 	m := manifest{
-		Height:     e.committed,
-		Replay:     e.checkpoint,
-		NextRunID:  e.nextRunID,
-		MemWriting: e.memWriting,
-		Async:      e.opts.AsyncMerge,
-		SizeRatio:  e.opts.SizeRatio,
-		Fanout:     e.opts.Fanout,
-		Roots:      e.rootHistory,
+		Height:      e.committed,
+		Replay:      e.checkpoint,
+		NextRunID:   e.nextRunID,
+		MemWriting:  e.memWriting,
+		Async:       e.opts.AsyncMerge,
+		SortedBatch: e.opts.SortedBatch,
+		SizeRatio:   e.opts.SizeRatio,
+		Fanout:      e.opts.Fanout,
+		Roots:       e.rootHistory,
 	}
 	for _, lv := range e.levels {
 		ls := levelState{Writing: lv.writing}
@@ -509,15 +599,89 @@ func (e *Engine) writeManifest() error {
 		}
 		m.Levels = append(m.Levels, ls)
 	}
-	raw, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return err
-	}
+	return json.MarshalIndent(m, "", "  ")
+}
+
+// writeManifestBytes persists marshaled manifest bytes atomically
+// (temp + rename). Touches no engine state, so it is safe off-lock.
+func (e *Engine) writeManifestBytes(raw []byte) error {
 	tmp := e.manifestPath() + ".tmp"
 	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
 		return err
 	}
 	return os.Rename(tmp, e.manifestPath())
+}
+
+func (e *Engine) writeManifest() error {
+	raw, err := e.marshalManifestLocked()
+	if err != nil {
+		return err
+	}
+	return e.writeManifestBytes(raw)
+}
+
+// commitIO is one pipelined cascade's deferred I/O: the manifest persist
+// and the retirement of the runs the cascade removed. manifested closes
+// once the manifest rename has landed (or failed) — the only ordering
+// the next manifest writer needs; err carries a manifest-write failure
+// to that join point. The retirement unlinks continue past manifested
+// and are tracked by Engine.ioWG, which only Close drains: the unlinked
+// files are named by no current manifest, so later manifest writes
+// cannot race them.
+type commitIO struct {
+	manifested chan struct{}
+	err        error
+}
+
+// joinCommitIOLocked waits for the in-flight pipelined commit's manifest
+// write, if any, and surfaces its error. The goroutine never takes e.mu,
+// so blocking here under the lock cannot deadlock. Every path that
+// writes a manifest (the next cascade, FlushAll) and Close must join
+// first so manifest writes stay strictly ordered; the previous commit's
+// run unlinks may still be draining afterwards (Close waits those out
+// via ioWG).
+func (e *Engine) joinCommitIOLocked() error {
+	io := e.pendingIO
+	if io == nil {
+		return nil
+	}
+	<-io.manifested
+	e.pendingIO = nil
+	return io.err
+}
+
+// startCommitIOLocked hands a cascade's trailing I/O — the marshaled
+// manifest bytes and the retiring run set — to a background goroutine.
+// Caller holds e.mu and must already have published the post-cascade
+// view (so no new reader can pick the retiring runs up). Retirement
+// happens strictly after the manifest rename, preserving the invariant
+// that the manifest stops naming a run before its files can be unlinked;
+// the runs' page-cache counters are folded into stats here, under the
+// lock, exactly as the inline path does.
+func (e *Engine) startCommitIOLocked(raw []byte) {
+	retiring := e.retiring
+	e.retiring = nil
+	for _, rr := range retiring {
+		v, i := rr.r.IOStats()
+		e.stats.PageReads += v.PageReads + i.PageReads
+		e.stats.CacheHits += v.CacheHits + i.CacheHits
+	}
+	io := &commitIO{manifested: make(chan struct{})}
+	e.pendingIO = io
+	e.ioWG.Add(1)
+	go func() {
+		defer e.ioWG.Done()
+		if err := e.writeManifestBytes(raw); err != nil {
+			io.err = err
+			close(io.manifested)
+			return
+		}
+		close(io.manifested)
+		for _, rr := range retiring {
+			rr.retired.Store(true)
+			rr.release()
+		}
+	}()
 }
 
 // cleanOrphans removes run files not referenced by the manifest: leftovers
@@ -636,6 +800,8 @@ func (e *Engine) Stats() Stats {
 	st.BloomSkips = e.bloomSkips.Load()
 	st.MergeWaits = e.mergeWaits.Load()
 	st.PartitionWaits = e.partitionWaits.Load()
+	st.PaceNanos = e.paceNanos.Load()
+	st.Preemptions = e.preemptions.Load()
 	return st
 }
 
@@ -735,6 +901,15 @@ func (e *Engine) closeRuns() {
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Join the pipelined commit I/O before touching run files: retirement
+	// unlinks must not race the close, and a deferred manifest-write
+	// failure should not vanish silently at shutdown.
+	ioErr := e.joinCommitIOLocked()
+	// The manifest join above only orders against the manifest rename;
+	// retirement unlinks drain in the background and must finish before we
+	// close run handles out from under them. The I/O goroutine never takes
+	// mu, so waiting here cannot deadlock.
+	e.ioWG.Wait()
 	e.waitMergesLocked()
 	// Discard uncommitted merge outputs; their files become orphans that
 	// the next Open cleans up.
@@ -747,5 +922,5 @@ func (e *Engine) Close() error {
 		}
 	}
 	e.closeRuns()
-	return nil
+	return ioErr
 }

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"time"
+
+	"cole/internal/types"
+)
+
+// Ingest-aware pacing (Options.PacingTarget).
+//
+// COLE*'s checkpoint discipline makes commits fast *except* when a
+// cascade checkpoint lands on a background merge that has not finished:
+// the commit then blocks for the merge's whole remaining runtime
+// (commitMerge's slow path, Stats.StallNanos) — a cliff that turns p99.9
+// commit latency into seconds while the median stays in microseconds.
+// Pacing removes the cliff by charging the wait *incrementally*: while
+// the structure owes background work ("compaction debt" — the entry
+// bytes of all in-flight merges), every Commit and PutBatch absorbs a
+// small delay that grows smoothly with the debt. Ingest slows by a few
+// percent exactly when merges are behind, merges catch up before the
+// next checkpoint, and the multi-second stall never forms. Delays are
+// pure sleeps taken OUTSIDE the engine lock, so paced writers never
+// block readers, Stats, or the merge jobs they are yielding to.
+
+const (
+	// paceFullDelay is the per-commit delay when debt equals the target.
+	paceFullDelay = 2 * time.Millisecond
+	// paceMaxDelay caps the per-commit delay however deep the debt gets:
+	// backpressure must stay bounded or pacing would reintroduce the very
+	// spikes it removes. The cap is deliberately tight — a few times the
+	// full-target delay — so a debt spike is amortized across many small
+	// per-block sleeps rather than concentrated into one tail-sized one;
+	// debt beyond the saturation point slows ingest via repetition, not
+	// depth.
+	paceMaxDelay = 8 * time.Millisecond
+)
+
+// paceDelay maps compaction debt to one commit's backpressure delay.
+// Pure and monotone in debt: zero debt ⇒ zero delay, more debt never
+// yields less delay, and the quadratic ramp keeps light debt nearly
+// free while braking hard as debt approaches (and passes) the target.
+func paceDelay(debt, target int64) time.Duration {
+	if debt <= 0 || target <= 0 {
+		return 0
+	}
+	r := float64(debt) / float64(target)
+	d := time.Duration(r * r * float64(paceFullDelay))
+	if d > paceMaxDelay || d < 0 {
+		d = paceMaxDelay
+	}
+	return d
+}
+
+// compactionDebtLocked sums the entry bytes of every background merge
+// still in flight: the L0 merging group whose flush has not landed, and
+// each level's merging group whose sort-merge is still running. Finished
+// jobs (done closed, awaiting their commit checkpoint) owe nothing — the
+// checkpoint will absorb them without blocking.
+func (e *Engine) compactionDebtLocked() int64 {
+	var debt int64
+	pending := func(ms *mergeState) bool {
+		if ms == nil {
+			return false
+		}
+		select {
+		case <-ms.done:
+			return false
+		default:
+			return true
+		}
+	}
+	if pending(e.memMerge) {
+		debt += int64(e.mem[1-e.memWriting].tree.Size()) * types.EntrySize
+	}
+	for _, lv := range e.levels {
+		if pending(lv.merge) {
+			for _, rr := range lv.groups[lv.merging()] {
+				debt += rr.r.Count() * types.EntrySize
+			}
+		}
+	}
+	return debt
+}
+
+// CompactionDebt reports the current in-flight background merge volume
+// in bytes (the quantity pacing is driven by), for introspection, the
+// stall benchmark, and tests.
+func (e *Engine) CompactionDebt() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.compactionDebtLocked()
+}
+
+// pace absorbs one unit of ingest backpressure scaled by weight (1 for a
+// commit, fraction-of-a-block for a partial batch). The debt probe takes
+// the lock briefly; the sleep itself runs unlocked and is accounted in
+// Stats.PaceNanos.
+func (e *Engine) pace(weight float64) {
+	if e.opts.PacingTarget <= 0 || weight <= 0 {
+		return
+	}
+	e.mu.Lock()
+	debt := e.compactionDebtLocked()
+	e.mu.Unlock()
+	d := paceDelay(debt, e.opts.PacingTarget)
+	if weight < 1 {
+		d = time.Duration(float64(d) * weight)
+	}
+	if d <= 0 {
+		return
+	}
+	time.Sleep(d)
+	e.paceNanos.Add(int64(d))
+}

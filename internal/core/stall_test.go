@@ -1,0 +1,438 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"cole/internal/merge"
+	"cole/internal/types"
+)
+
+// TestChunkedMergeMatchesMonolithic drives identical workloads through a
+// chunked-preemptible engine and a monolithic one on ONE-worker pools,
+// in both merge modes: with a single slot every flush the commit path
+// needs contends with every deep merge, so any preemption bug surfaces
+// as a deadlock or a digest divergence. Chunking must be invisible in
+// the output — byte-identical digests block for block.
+func TestChunkedMergeMatchesMonolithic(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		t.Run(fmt.Sprintf("async=%v", async), func(t *testing.T) {
+			optsChunked := testOpts(t, async)
+			optsChunked.MergeWorkers = 1
+			optsChunked.MergeChunk = 8 // checkpoint every 8 entries: maximal interleaving
+			optsMono := testOpts(t, async)
+			optsMono.MergeWorkers = 1
+			optsMono.MergeChunk = -1 // monolithic merges
+			ec := openEngine(t, optsChunked)
+			em := openEngine(t, optsMono)
+			const blocks, writes, accounts = 100, 12, 60
+			for h := uint64(1); h <= blocks; h++ {
+				batch := batchFor(h, writes, accounts)
+				for _, e := range []*Engine{ec, em} {
+					if err := e.BeginBlock(h); err != nil {
+						t.Fatal(err)
+					}
+					if err := e.PutBatch(batch); err != nil {
+						t.Fatal(err)
+					}
+				}
+				rc, err := ec.Commit()
+				if err != nil {
+					t.Fatal(err)
+				}
+				rm, err := em.Commit()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rc != rm {
+					t.Fatalf("block %d: chunked digest %s != monolithic digest %s", h, rc, rm)
+				}
+			}
+			if got := em.Stats().Preemptions; got != 0 {
+				t.Fatalf("monolithic engine recorded %d preemptions", got)
+			}
+		})
+	}
+}
+
+// TestFlushPreemptsChunkedDeepMerge is the engine-level preemption-lane
+// regression: the merge pool's ONLY slot is occupied by a chunked
+// deep-lane job that spins until the engine records a preemption, and a
+// commit that needs an L0 flush is issued against it. Without priority
+// lanes + Preempt the flush could never run and the commit would hang;
+// with them the job's first checkpoint hands the slot over. The
+// commit completing at all is the assertion — plus the preemption
+// showing up in Stats.
+func TestFlushPreemptsChunkedDeepMerge(t *testing.T) {
+	opts := testOpts(t, true)
+	opts.MergeWorkers = 1
+	e := openEngine(t, opts)
+
+	// Occupy the only slot with a stand-in for a long deep merge: it
+	// checkpoints (Preempt) in a loop, exactly like a chunked merge's
+	// iterator does between chunks, and exits once a handoff happened.
+	deepDone := make(chan struct{})
+	deepStarted := make(chan struct{})
+	e.Scheduler().Submit(func() {
+		defer close(deepDone)
+		close(deepStarted)
+		// Bounded spin: the stats assertion below fails the test if the
+		// valve ever runs out without a preemption.
+		for i := 0; i < 200000; i++ {
+			if e.Scheduler().Preempt(merge.PriorityDeep, nil) {
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}, merge.PriorityDeep, nil)
+	<-deepStarted
+
+	// Fill L0 exactly to capacity and commit: the cascade submits a
+	// flush (PriorityFlush) that must overtake the running deep job.
+	if err := e.BeginBlock(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < opts.MemCapacity; i++ {
+		if err := e.Put(types.AddressFromUint64(uint64(i)), types.ValueFromUint64(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The cascade started the flush in the background (async mode); it
+	// can only finish if the deep job yielded its slot. FlushAll joins it.
+	done := make(chan error, 1)
+	go func() { done <- e.FlushAll() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("flush never ran: the deep job did not yield the pool's only slot")
+	}
+	<-deepDone
+	if st := e.Scheduler().Stats(); st.Preempted == 0 {
+		t.Fatal("no preemption recorded although a flush was queued behind a deep job")
+	}
+}
+
+// TestPaceDelayMonotone checks the pacing curve's contract: zero debt is
+// free, delay never decreases as debt grows, and the cap bounds it.
+func TestPaceDelayMonotone(t *testing.T) {
+	const target = int64(1 << 20)
+	if d := paceDelay(0, target); d != 0 {
+		t.Fatalf("paceDelay(0) = %v, want 0", d)
+	}
+	if d := paceDelay(123, 0); d != 0 {
+		t.Fatalf("paceDelay with pacing disabled = %v, want 0", d)
+	}
+	debts := make([]int64, 0, 1000)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		debts = append(debts, r.Int63n(64*target))
+	}
+	sort.Slice(debts, func(i, j int) bool { return debts[i] < debts[j] })
+	prev := time.Duration(-1)
+	for _, debt := range debts {
+		d := paceDelay(debt, target)
+		if d < prev {
+			t.Fatalf("paceDelay not monotone: debt %d -> %v after %v", debt, d, prev)
+		}
+		if d > paceMaxDelay {
+			t.Fatalf("paceDelay(%d) = %v exceeds cap %v", debt, d, paceMaxDelay)
+		}
+		prev = d
+	}
+	if d := paceDelay(target, target); d != paceFullDelay {
+		t.Fatalf("paceDelay(target) = %v, want full delay %v", d, paceFullDelay)
+	}
+	if d := paceDelay(1<<62, target); d != paceMaxDelay {
+		t.Fatalf("paceDelay(huge) = %v, want cap %v", d, paceMaxDelay)
+	}
+}
+
+// TestPacingBackpressure pins the merge pool's only slot so a cascade's
+// L0 flush provably stays in flight, then checks the debt is visible and
+// that a paced engine charges PaceNanos on the next writes — while an
+// idle (zero-debt) paced engine charges nothing.
+func TestPacingBackpressure(t *testing.T) {
+	opts := testOpts(t, true)
+	opts.MergeWorkers = 1
+	opts.PacingTarget = 1 // any debt is over target: max backpressure
+	e := openEngine(t, opts)
+
+	// Zero debt ⇒ zero delay: commits before any cascade pace nothing.
+	if err := e.BeginBlock(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PutBatch([]Update{{Addr: types.AddressFromUint64(1), Value: types.ValueFromUint64(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.PaceNanos != 0 {
+		t.Fatalf("paced %dns with zero compaction debt", st.PaceNanos)
+	}
+
+	// Hold the pool's only slot so the upcoming flush cannot start. The
+	// gate must open even if an assertion below fails, or the engine's
+	// Close cleanup would wait on the pinned merge forever.
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	releaseGate := func() { gateOnce.Do(func() { close(gate) }) }
+	t.Cleanup(releaseGate)
+	started := make(chan struct{})
+	e.Scheduler().Submit(func() { close(started); <-gate }, merge.PriorityDeep, nil)
+	<-started
+
+	// Fill L0 to capacity; the commit cascades and hands the merging
+	// group to a flush that is now provably queued: debt is deterministic.
+	if err := e.BeginBlock(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < opts.MemCapacity; i++ {
+		if err := e.Put(types.AddressFromUint64(uint64(i)), types.ValueFromUint64(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Block 1's lone entry rode along into the merging group, so the
+	// in-flight flush carries MemCapacity+1 entries.
+	wantDebt := int64(opts.MemCapacity+1) * types.EntrySize
+	if debt := e.CompactionDebt(); debt != wantDebt {
+		t.Fatalf("compaction debt = %d, want the in-flight flush volume %d", debt, wantDebt)
+	}
+
+	// The next block's writes absorb backpressure.
+	if err := e.BeginBlock(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PutBatch([]Update{{Addr: types.AddressFromUint64(1), Value: types.ValueFromUint64(3)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.PaceNanos == 0 {
+		t.Fatal("no pacing delay charged while compaction debt was outstanding")
+	}
+
+	releaseGate()
+	if err := e.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if debt := e.CompactionDebt(); debt != 0 {
+		t.Fatalf("compaction debt %d after FlushAll, want 0", debt)
+	}
+}
+
+// TestPipelinedCommitDeterminism runs ≥60 cascading blocks through a
+// pipelined engine and an unpipelined one, in both merge modes: every
+// block's header digest must be byte-identical (pipelining moves only
+// WHEN the manifest bytes and retirements hit disk, never WHAT), commit
+// tail stats must be recorded, and the pipelined store must reopen from
+// its deferred manifests with the same root.
+func TestPipelinedCommitDeterminism(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		t.Run(fmt.Sprintf("async=%v", async), func(t *testing.T) {
+			optsP := testOpts(t, async)
+			optsP.PipelinedCommit = true
+			optsU := testOpts(t, async)
+			ep, err := Open(optsP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eu := openEngine(t, optsU)
+			const blocks, writes, accounts = 80, 12, 40
+			for h := uint64(1); h <= blocks; h++ {
+				batch := batchFor(h, writes, accounts)
+				for _, e := range []*Engine{ep, eu} {
+					if err := e.BeginBlock(h); err != nil {
+						t.Fatal(err)
+					}
+					if err := e.PutBatch(batch); err != nil {
+						t.Fatal(err)
+					}
+				}
+				rp, err := ep.Commit()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ru, err := eu.Commit()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rp != ru {
+					t.Fatalf("block %d: pipelined digest %s != unpipelined digest %s", h, rp, ru)
+				}
+			}
+			st := ep.Stats()
+			if st.Commits != blocks {
+				t.Fatalf("Commits = %d, want %d", st.Commits, blocks)
+			}
+			if st.CommitNanos <= 0 || st.MaxCommitNanos <= 0 || st.MaxCommitNanos > st.CommitNanos {
+				t.Fatalf("implausible commit tail stats: total=%d max=%d", st.CommitNanos, st.MaxCommitNanos)
+			}
+			if err := ep.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			if err := eu.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			// FlushAll may regroup L0 into runs (Hstate-preserving in sync
+			// mode, Hstate-shifting in async where the merging-group root
+			// leaves the list), but both engines must agree on the result.
+			postFlush := ep.RootDigest()
+			if pu := eu.RootDigest(); postFlush != pu {
+				t.Fatalf("post-flush pipelined digest %s != unpipelined %s", postFlush, pu)
+			}
+			if err := ep.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// Reopen: the deferred manifests must have landed coherently.
+			ep2, err := Open(optsP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ep2.Close()
+			if got := ep2.RootDigest(); got != postFlush {
+				t.Fatalf("reopened pipelined digest %s != post-flush digest %s", got, postFlush)
+			}
+		})
+	}
+}
+
+// TestPipelinedCommitCrashReplay crashes a pipelined engine (Close
+// without FlushAll) mid-stream and replays from the recovered
+// checkpoint: the deferred manifest writes must never leave the store
+// unable to reproduce its pre-crash digest.
+func TestPipelinedCommitCrashReplay(t *testing.T) {
+	opts := testOpts(t, true)
+	opts.PipelinedCommit = true
+	e, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const blocks, writes, accounts = 61, 10, 30
+	var pre types.Hash
+	for h := uint64(1); h <= blocks; h++ {
+		if err := e.BeginBlock(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.PutBatch(batchFor(h, writes, accounts)); err != nil {
+			t.Fatal(err)
+		}
+		if pre, err = e.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil { // crash: L0 lost
+		t.Fatal(err)
+	}
+	e2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	for h := e2.CheckpointHeight() + 1; h <= blocks; h++ {
+		if err := e2.BeginBlock(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := e2.PutBatch(batchFor(h, writes, accounts)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e2.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e2.RootDigest(); got != pre {
+		t.Fatalf("replayed digest %s != pre-crash digest %s", got, pre)
+	}
+}
+
+// TestSortedBatchIdentityAndFormat checks the two sides of the sorted
+// bulk-load contract: (1) a SortedBatch engine's digests equal those of
+// an engine fed the same deduped updates through a sequential Put loop
+// in sorted order — the bulk path is a pure speedup over sorted
+// insertion; (2) the setting is a format bit — reopening the store with
+// the other value must fail.
+func TestSortedBatchIdentityAndFormat(t *testing.T) {
+	optsS := testOpts(t, true)
+	optsS.SortedBatch = true
+	es, err := Open(optsS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo := openEngine(t, testOpts(t, true)) // oracle: sequential sorted Puts
+	const blocks, writes, accounts = 80, 12, 40
+	for h := uint64(1); h <= blocks; h++ {
+		batch := batchFor(h, writes, accounts)
+		// The oracle applies the batch the way the fast path promises to:
+		// last-write-wins dedup, then ascending address order.
+		dedup := map[types.Address]types.Value{}
+		var order []types.Address
+		for _, u := range batch {
+			if _, seen := dedup[u.Addr]; !seen {
+				order = append(order, u.Addr)
+			}
+			dedup[u.Addr] = u.Value
+		}
+		sort.Slice(order, func(i, j int) bool {
+			ki := types.CompoundKey{Addr: order[i], Blk: h}
+			kj := types.CompoundKey{Addr: order[j], Blk: h}
+			return ki.Less(kj)
+		})
+		if err := es.BeginBlock(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := es.PutBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := eo.BeginBlock(h); err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range order {
+			if err := eo.Put(a, dedup[a]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rs, err := es.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ro, err := eo.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs != ro {
+			t.Fatalf("block %d: SortedBatch digest %s != sorted sequential-Put digest %s", h, rs, ro)
+		}
+	}
+	if err := es.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Format check: the manifest records sorted_batch and rejects a
+	// mismatched reopen in either direction.
+	optsMismatch := optsS
+	optsMismatch.SortedBatch = false
+	if _, err := Open(optsMismatch); err == nil {
+		t.Fatal("reopening a sorted_batch store with SortedBatch=false succeeded")
+	}
+	es2, err := Open(optsS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es2.Close()
+}

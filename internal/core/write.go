@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"cole/internal/merge"
 	"cole/internal/run"
 	"cole/internal/types"
 )
@@ -59,6 +61,10 @@ func (e *Engine) PutBatch(updates []Update) error {
 	if len(updates) == 0 {
 		return nil
 	}
+	// Ingest pacing: a batch absorbs its share of the current compaction
+	// debt in proportion to how much of a block it represents, before
+	// taking the lock (the sleep must never block readers or merges).
+	e.pace(float64(len(updates)) / float64(e.opts.MemCapacity))
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.inBlock {
@@ -89,9 +95,29 @@ func (e *Engine) PutBatch(updates []Update) error {
 		deduped = append(deduped, u)
 	}
 	e.batchBuf = deduped
-	for _, u := range deduped {
-		g.tree.Insert(types.CompoundKey{Addr: u.Addr, Blk: e.height}, u.Value)
-		g.filter.Add(u.Addr)
+	if e.opts.SortedBatch {
+		// Format-versioned fast path: stage the deduped updates as entries,
+		// sort by compound key, and bulk-load the L0 tree through its
+		// sorted-insert path (one descent per leaf run instead of one per
+		// key). Identical to a sequential Insert loop over the same sorted
+		// slice — but NOT to first-occurrence order, which is why the
+		// manifest records the setting.
+		entries := e.entryBuf[:0]
+		for _, u := range deduped {
+			entries = append(entries, types.Entry{
+				Key:   types.CompoundKey{Addr: u.Addr, Blk: e.height},
+				Value: u.Value,
+			})
+			g.filter.Add(u.Addr)
+		}
+		e.entryBuf = entries
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Key.Less(entries[j].Key) })
+		g.tree.InsertSorted(entries)
+	} else {
+		for _, u := range deduped {
+			g.tree.Insert(types.CompoundKey{Addr: u.Addr, Blk: e.height}, u.Value)
+			g.filter.Add(u.Addr)
+		}
 	}
 	// Puts counts submitted updates (what the workload issued), matching
 	// the sequential-Put accounting.
@@ -104,6 +130,11 @@ func (e *Engine) PutBatch(updates []Update) error {
 // changed, publishes the new read view, and returns the block's state
 // root digest Hstate.
 func (e *Engine) Commit() (types.Hash, error) {
+	// Ingest pacing happens before the timed section: the deliberate
+	// backpressure sleep is accounted in PaceNanos, not CommitNanos, so
+	// MaxCommitNanos keeps measuring real commit work and stalls.
+	e.pace(1)
+	start := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.inBlock {
@@ -116,6 +147,12 @@ func (e *Engine) Commit() (types.Hash, error) {
 	cascaded := false
 	if e.mem[e.memWriting].tree.Size() >= e.opts.MemCapacity {
 		cascaded = true
+		// This cascade will supersede the previous pipelined commit's
+		// manifest: join its I/O first so writes stay ordered and a
+		// deferred failure surfaces here instead of being overwritten.
+		if err := e.joinCommitIOLocked(); err != nil {
+			return types.Hash{}, err
+		}
 		if e.opts.AsyncMerge {
 			err = e.cascadeAsync()
 			// Blocks since the previous cascade live in the merging
@@ -137,17 +174,37 @@ func (e *Engine) Commit() (types.Hash, error) {
 	// in the durable history.
 	root := e.rootDigestLocked()
 	e.recordRootLocked(e.committed, root)
-	if cascaded {
+	if cascaded && !e.opts.PipelinedCommit {
 		if err := e.writeManifest(); err != nil {
 			return types.Hash{}, err
 		}
 	}
 	// Publish after the digest warmed every L0 hash (the frozen snapshots
-	// must be clean for concurrent readers) and after the manifest write,
-	// then retire the runs the cascade removed: the fresh view excludes
-	// them, and views still pinning them keep their files alive.
-	e.publishLocked()
-	e.retireLocked()
+	// must be clean for concurrent readers) and after the manifest write
+	// (or after its bytes were captured, when pipelined), then retire the
+	// runs the cascade removed: the fresh view excludes them, and views
+	// still pinning them keep their files alive.
+	if cascaded && e.opts.PipelinedCommit {
+		// Pipelined: capture the exact manifest bytes under the lock, then
+		// persist them — and unlink the retired runs' files strictly after
+		// the rename — on a background goroutine, overlapping this block's
+		// trailing I/O with the next block's execution and hashing.
+		raw, err := e.marshalManifestLocked()
+		if err != nil {
+			return types.Hash{}, err
+		}
+		e.publishLocked()
+		e.startCommitIOLocked(raw)
+	} else {
+		e.publishLocked()
+		e.retireLocked()
+	}
+	d := int64(time.Since(start))
+	e.stats.Commits++
+	e.stats.CommitNanos += d
+	if d > e.stats.MaxCommitNanos {
+		e.stats.MaxCommitNanos = d
+	}
 	return root, nil
 }
 
@@ -209,9 +266,11 @@ func (e *Engine) cascadeSync() error {
 	e.nextRunID++
 	var r *run.Run
 	var err error
+	// The whole sync cascade is the commit path, so its jobs run in the
+	// flush lane: a commit must never queue behind background maintenance.
 	e.sched.Run(func() {
 		r, err = run.Build(e.opts.Dir, id, int64(len(entries)), e.opts.runParams(), run.NewSliceIterator(entries))
-	}, e.noteMergeWait)
+	}, merge.PriorityFlush, e.noteMergeWait)
 	if err != nil {
 		return fmt.Errorf("core: flush L0: %w", err)
 	}
@@ -302,8 +361,12 @@ func (e *Engine) commitMerge(ms *mergeState, destLevel int) error {
 	default:
 		// Slow node: the interval between start and commit checkpoints was
 		// not enough; block until the merge finishes (Algorithm 5 line 9).
+		// The blocked time is the commit stall pacing exists to prevent —
+		// measured here so `-exp stalls` and `coledb stat` can report it.
 		e.mergeWaits.Add(1)
+		stallStart := time.Now()
 		<-ms.done
+		e.stats.StallNanos += int64(time.Since(stallStart))
 	}
 	if ms.err != nil {
 		return fmt.Errorf("core: background merge failed: %w", ms.err)
@@ -338,8 +401,51 @@ func (e *Engine) startMemFlush(g *memGroup) *mergeState {
 			return
 		}
 		ms.newRun = r
-	}, e.noteMergeWait)
+	}, merge.PriorityFlush, e.noteMergeWait)
 	return ms
+}
+
+// levelPriority maps a level merge to its scheduler lane: the merge that
+// builds L1+1 from levels[0] backs up the very next cascade, everything
+// deeper is bulk maintenance a commit should never queue behind.
+func levelPriority(levelIdx int) merge.Priority {
+	if levelIdx == 0 {
+		return merge.PriorityMerge
+	}
+	return merge.PriorityDeep
+}
+
+// defaultMergeChunk is the preemption quantum when Options.MergeChunk is
+// 0: 16384 entries ≈ 1 MiB of merged volume between scheduler probes —
+// frequent enough that a queued flush waits microseconds, rare enough
+// that the probe (two atomic loads) never shows up in merge bandwidth.
+const defaultMergeChunk = 16384
+
+func (e *Engine) chunkQuantum() int {
+	if e.opts.MergeChunk < 0 {
+		return 0
+	}
+	if e.opts.MergeChunk == 0 {
+		return defaultMergeChunk
+	}
+	return e.opts.MergeChunk
+}
+
+// chunked wraps a merge source so the job checkpoints every quantum
+// entries and hands its worker slot to queued higher-priority work
+// (run.Chunked + Scheduler.Preempt). Flush-lane jobs are never wrapped —
+// nothing outranks them, so the probe would be dead weight on the
+// commit path.
+func (e *Engine) chunked(it run.Iterator, pri merge.Priority) run.Iterator {
+	q := e.chunkQuantum()
+	if q <= 0 || pri == merge.PriorityFlush {
+		return it
+	}
+	return run.Chunked(it, q, func() {
+		if e.sched.Preempt(pri, nil) {
+			e.preemptions.Add(1)
+		}
+	})
 }
 
 // startLevelMerge submits the sort-merge of a level's merging group into
@@ -352,17 +458,18 @@ func (e *Engine) startLevelMerge(levelIdx int, runs []*run.Run) *mergeState {
 		count += r.Count()
 	}
 	ms := &mergeState{done: make(chan struct{})}
+	pri := levelPriority(levelIdx)
 	e.sched.Submit(func() {
 		defer close(ms.done)
 		start := time.Now()
 		defer func() { ms.elapsed = time.Since(start) }()
-		r, err := e.buildLevelRun(id, count, runs)
+		r, err := e.buildLevelRun(id, count, runs, pri)
 		if err != nil {
 			ms.err = err
 			return
 		}
 		ms.newRun = r
-	}, e.noteMergeWait)
+	}, pri, e.noteMergeWait)
 	return ms
 }
 
@@ -377,11 +484,13 @@ func (e *Engine) buildMergedRun(runs []*run.Run) (*run.Run, error) {
 	}
 	var merged *run.Run
 	var err error
+	// Inline (Algorithm 1) merges block the commit, so they run — and fan
+	// their partitions out — in the flush lane, unchunked.
 	e.sched.Run(func() {
 		start := time.Now()
-		merged, err = e.buildLevelRun(id, count, runs)
+		merged, err = e.buildLevelRun(id, count, runs, merge.PriorityFlush)
 		e.stats.MergeNanos += int64(time.Since(start))
-	}, e.noteMergeWait)
+	}, merge.PriorityFlush, e.noteMergeWait)
 	if err != nil {
 		return nil, fmt.Errorf("core: level merge: %w", err)
 	}
@@ -422,7 +531,7 @@ func (e *Engine) mergeWidth(count int64) int {
 // parent's released slot is what feeds its own spans on a narrow pool.
 // The partitioned output is byte-identical to the sequential build, so
 // the choice never reaches digests or the manifest.
-func (e *Engine) buildLevelRun(id uint64, count int64, runs []*run.Run) (*run.Run, error) {
+func (e *Engine) buildLevelRun(id uint64, count int64, runs []*run.Run, pri merge.Priority) (*run.Run, error) {
 	if width := e.mergeWidth(count); width > 1 {
 		spans, err := run.PlanRuns(runs, width, e.opts.PageSize)
 		if err != nil {
@@ -430,15 +539,18 @@ func (e *Engine) buildLevelRun(id uint64, count int64, runs []*run.Run) (*run.Ru
 		}
 		if len(spans) > 1 {
 			par := run.Parallel{
-				Spawn: func(fn func()) { e.sched.SubmitPartition(fn, e.notePartitionWait) },
-				Yield: func(wait func()) { e.sched.Yield(wait, e.notePartitionWait) },
+				Spawn: func(fn func()) { e.sched.SubmitPartition(fn, pri, e.notePartitionWait) },
+				Yield: func(wait func()) { e.sched.Yield(pri, wait, e.notePartitionWait) },
 			}
+			// Each span holds its own pool slot, so each preempts
+			// independently: one queued flush pauses one span, not the
+			// whole fan-out.
 			return run.BuildPartitioned(e.opts.Dir, id, count, e.opts.runParams(), spans,
-				func(sp run.Span) (run.Iterator, error) { return run.MergeRunsRange(runs, sp), nil }, par)
+				func(sp run.Span) (run.Iterator, error) { return e.chunked(run.MergeRunsRange(runs, sp), pri), nil }, par)
 		}
 	}
 	it := run.MergeRuns(runs)
-	r, err := run.Build(e.opts.Dir, id, count, e.opts.runParams(), it)
+	r, err := run.Build(e.opts.Dir, id, count, e.opts.runParams(), e.chunked(it, pri))
 	if err != nil {
 		return nil, err
 	}
@@ -458,6 +570,10 @@ func (e *Engine) FlushAll() error {
 	defer e.mu.Unlock()
 	if e.inBlock {
 		return fmt.Errorf("core: FlushAll inside an open block")
+	}
+	// Join the pipelined commit I/O before writing another manifest.
+	if err := e.joinCommitIOLocked(); err != nil {
+		return err
 	}
 	// Join and commit async threads first so groups are quiescent.
 	if e.memMerge != nil {

@@ -202,6 +202,85 @@ func (t *Tree) insert(n node, e types.Entry) (self node, replaced bool, right no
 	panic("mbtree: unknown node type")
 }
 
+// InsertSorted bulk-loads entries whose keys are in ascending order.
+// It produces EXACTLY the tree a sequential Insert loop over the same
+// slice would — identical structure and root hash — but amortizes the
+// descent: after placing one key it keeps the (copy-on-write owned)
+// target leaf, and every following key that still belongs in that leaf
+// is appended or overwritten in place without touching the path again.
+// The fast path applies only when sequential Insert would also have
+// appended without splitting (key below the leaf's subtree upper bound,
+// leaf below fanout, key above the leaf's current tail); everything
+// else falls back to Insert and re-descends, so the equivalence holds
+// by construction rather than by re-implementation.
+func (t *Tree) InsertSorted(entries []types.Entry) {
+	var leaf *leafNode
+	var upper types.CompoundKey
+	hasUpper := false
+	for _, e := range entries {
+		if leaf != nil && (!hasUpper || e.Key.Less(upper)) {
+			idx, found := searchEntries(leaf.entries, e.Key)
+			if found {
+				leaf.entries[idx] = e
+				continue
+			}
+			if idx == len(leaf.entries) && len(leaf.entries) < t.fanout {
+				leaf.entries = append(leaf.entries, e)
+				t.size++
+				continue
+			}
+		}
+		t.Insert(e.Key, e.Value)
+		leaf, upper, hasUpper = t.descendOwned(e.Key)
+	}
+}
+
+// descendOwned walks from the root to the leaf covering key, converting
+// every node on the path to an owned, dirty copy (the same path-copying
+// Insert performs), and returns that leaf together with the exclusive
+// upper bound of its subtree (the min key of the next sibling at the
+// lowest branch where one exists; hasUpper is false on the rightmost
+// path). Ancestors are dirtied here once, so in-place appends to the
+// returned leaf need no further path maintenance: appending at a leaf's
+// tail never changes any minKey, and digests are recomputed from
+// content, making a spuriously dirty node a pure cache miss.
+func (t *Tree) descendOwned(key types.CompoundKey) (*leafNode, types.CompoundKey, bool) {
+	var upper types.CompoundKey
+	hasUpper := false
+	switch v := t.root.(type) {
+	case *leafNode:
+		nd := t.ownedLeaf(v)
+		nd.dirty = true
+		t.root = nd
+		return nd, upper, hasUpper
+	case *internalNode:
+		nd := t.ownedInternal(v)
+		nd.dirty = true
+		t.root = nd
+		cur := nd
+		for {
+			ci := childIndex(cur.mins, key)
+			if ci+1 < len(cur.mins) {
+				upper = cur.mins[ci+1]
+				hasUpper = true
+			}
+			switch cv := cur.children[ci].(type) {
+			case *leafNode:
+				l := t.ownedLeaf(cv)
+				l.dirty = true
+				cur.children[ci] = l
+				return l, upper, hasUpper
+			case *internalNode:
+				ic := t.ownedInternal(cv)
+				ic.dirty = true
+				cur.children[ci] = ic
+				cur = ic
+			}
+		}
+	}
+	panic("mbtree: descendOwned on empty tree")
+}
+
 // searchEntries returns the insertion index for key and whether it exists.
 func searchEntries(entries []types.Entry, key types.CompoundKey) (int, bool) {
 	lo, hi := 0, len(entries)

@@ -31,7 +31,7 @@ func TestBoundedConcurrency(t *testing.T) {
 			}
 			time.Sleep(2 * time.Millisecond)
 			running.Add(-1)
-		}, nil)
+		}, PriorityFlush, nil)
 	}
 	wg.Wait()
 	if p := peak.Load(); p > workers {
@@ -55,10 +55,10 @@ func TestOnWaitReporting(t *testing.T) {
 	block := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(2)
-	s.Submit(func() { defer wg.Done(); close(started); <-block }, nil)
+	s.Submit(func() { defer wg.Done(); close(started); <-block }, PriorityDeep, nil)
 	<-started // the only slot is now held
 	var waits atomic.Int64
-	s.Submit(func() { defer wg.Done() }, func() { waits.Add(1) })
+	s.Submit(func() { defer wg.Done() }, PriorityFlush, func() { waits.Add(1) })
 	// The queued job reports its wait before blocking on the slot.
 	for waits.Load() == 0 {
 		time.Sleep(time.Millisecond)
@@ -77,12 +77,104 @@ func TestRunBlocksUntilDone(t *testing.T) {
 	var done atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(1)
-	s.Submit(func() { defer wg.Done(); time.Sleep(5 * time.Millisecond) }, nil)
-	s.Run(func() { done.Store(true) }, nil)
+	s.Submit(func() { defer wg.Done(); time.Sleep(5 * time.Millisecond) }, PriorityDeep, nil)
+	s.Run(func() { done.Store(true) }, PriorityFlush, nil)
 	if !done.Load() {
 		t.Fatal("Run returned before the job executed")
 	}
 	wg.Wait()
+}
+
+// TestPriorityHandoff queues a deep waiter and then a flush waiter behind
+// a held 1-worker pool and checks the released slot goes to the flush
+// lane first even though the deep job queued earlier: commits never wait
+// for CPU behind maintenance.
+func TestPriorityHandoff(t *testing.T) {
+	s := New(1)
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	order := make(chan string, 2)
+	var wg sync.WaitGroup
+	wg.Add(3)
+	s.Submit(func() { defer wg.Done(); close(started); <-gate }, PriorityDeep, nil)
+	<-started // the only slot is now held
+	deepQueued := make(chan struct{})
+	s.Submit(func() { defer wg.Done(); order <- "deep" }, PriorityDeep, func() { close(deepQueued) })
+	<-deepQueued
+	flushQueued := make(chan struct{})
+	s.Submit(func() { defer wg.Done(); order <- "flush" }, PriorityFlush, func() { close(flushQueued) })
+	<-flushQueued
+	close(gate)
+	wg.Wait()
+	if first := <-order; first != "flush" {
+		t.Fatalf("slot went to %q first; the flush lane must outrank an earlier deep waiter", first)
+	}
+}
+
+// TestPreemptHandsSlotToFlush is the preemption-lane regression test on
+// a ONE-worker pool: a chunked deep merge holds the only slot and calls
+// Preempt between chunks; a flush submitted mid-merge must run to
+// completion BEFORE the deep job's remaining chunks — i.e. a commit is
+// never blocked behind the tail of a monolithic merge.
+func TestPreemptHandsSlotToFlush(t *testing.T) {
+	s := New(1)
+	const chunks = 64
+	var order []string
+	var mu sync.Mutex
+	record := func(what string) {
+		mu.Lock()
+		order = append(order, what)
+		mu.Unlock()
+	}
+	firstChunk := make(chan struct{})
+	flushQueued := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	s.Submit(func() {
+		defer wg.Done()
+		for i := 0; i < chunks; i++ {
+			if i == 1 {
+				close(firstChunk) // the merge is provably mid-flight
+				<-flushQueued     // and the flush is provably queued
+			}
+			s.Preempt(PriorityDeep, nil)
+		}
+		record("deep-done")
+	}, PriorityDeep, nil)
+	<-firstChunk
+	s.Submit(func() {
+		defer wg.Done()
+		record("flush-done")
+	}, PriorityFlush, func() { close(flushQueued) })
+	wg.Wait()
+	if len(order) != 2 || order[0] != "flush-done" {
+		t.Fatalf("completion order %v; the queued flush must preempt the chunked deep merge", order)
+	}
+	if st := s.Stats(); st.Preempted == 0 {
+		t.Fatal("no preemption recorded although a flush was queued mid-merge")
+	}
+}
+
+// TestPreemptNoopWhenIdle checks Preempt keeps the slot (and stays cheap)
+// when nothing more urgent is queued, and that a flush never preempts
+// for its own lane.
+func TestPreemptNoopWhenIdle(t *testing.T) {
+	s := New(1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	s.Run(func() {
+		if s.Preempt(PriorityDeep, nil) {
+			t.Error("Preempt yielded with an empty pool")
+		}
+		if s.Preempt(PriorityFlush, nil) {
+			t.Error("Preempt yielded at the most urgent lane")
+		}
+		wg.Done()
+	}, PriorityDeep, nil)
+	wg.Wait()
+	if st := s.Stats(); st.Preempted != 0 {
+		t.Fatalf("Preempted = %d, want 0", st.Preempted)
+	}
 }
 
 // TestPartitionFanOutOnNarrowPool is the deadlock regression test for
@@ -104,11 +196,11 @@ func TestPartitionFanOutOnNarrowPool(t *testing.T) {
 				defer wg.Done()
 				time.Sleep(time.Millisecond)
 				ran.Add(1)
-			}, nil)
+			}, PriorityDeep, nil)
 		}
-		s.Yield(wg.Wait, nil)
+		s.Yield(PriorityDeep, wg.Wait, nil)
 		close(done)
-	}, nil)
+	}, PriorityDeep, nil)
 	select {
 	case <-done:
 	case <-time.After(10 * time.Second):
@@ -140,14 +232,14 @@ func TestYieldRestoresSlot(t *testing.T) {
 	wg.Add(2)
 	s.Submit(func() {
 		defer wg.Done()
-		s.Yield(func() {}, nil)
+		s.Yield(PriorityDeep, func() {}, nil)
 		// Back under the budget: nothing else may run concurrently.
 		if n := inside.Add(1); n != 1 {
 			t.Errorf("%d jobs inside a 1-worker pool after Yield", n)
 		}
 		time.Sleep(2 * time.Millisecond)
 		inside.Add(-1)
-	}, nil)
+	}, PriorityDeep, nil)
 	s.Submit(func() {
 		defer wg.Done()
 		if n := inside.Add(1); n != 1 {
@@ -155,7 +247,7 @@ func TestYieldRestoresSlot(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 		inside.Add(-1)
-	}, nil)
+	}, PriorityDeep, nil)
 	wg.Wait()
 }
 

@@ -965,7 +965,14 @@ func (s *Store) Storage() core.StorageBreakdown {
 	return sb
 }
 
-// Stats sums engine counters across shards.
+// Stats sums engine counters across shards. MergeWaits and
+// PartitionWaits stay DISJOINT in the sum, exactly as they are per
+// engine: MergeWaits is cross-shard back-pressure (whole jobs queuing,
+// commits blocking on unfinished merges), PartitionWaits is the
+// intentional sibling-span queueing of fanned-out merges — adding one
+// into the other would make a busy-but-healthy pool look starved. The
+// tail/stall counters sum too, except MaxCommitNanos, which takes the
+// worst shard: a sharded commit is as slow as its slowest engine.
 func (s *Store) Stats() core.Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -980,6 +987,14 @@ func (s *Store) Stats() core.Stats {
 		st.BloomSkips += es.BloomSkips
 		st.MergeWaits += es.MergeWaits
 		st.PartitionWaits += es.PartitionWaits
+		st.Commits += es.Commits
+		st.CommitNanos += es.CommitNanos
+		if es.MaxCommitNanos > st.MaxCommitNanos {
+			st.MaxCommitNanos = es.MaxCommitNanos
+		}
+		st.StallNanos += es.StallNanos
+		st.PaceNanos += es.PaceNanos
+		st.Preemptions += es.Preemptions
 		st.FlushBytes += es.FlushBytes
 		st.MergeBytes += es.MergeBytes
 		st.MergeNanos += es.MergeNanos
@@ -999,6 +1014,10 @@ type ShardStat struct {
 	Puts int64
 	// MergeWaits counts the shard's merge back-pressure events.
 	MergeWaits int64
+	// MaxCommitNanos is the shard's single worst commit: the straggler
+	// diagnosis for a sharded store's tail latency (the combined commit
+	// is as slow as its slowest shard).
+	MaxCommitNanos int64
 }
 
 // ShardStats returns each shard's balance snapshot, for imbalance
@@ -1015,10 +1034,11 @@ func (s *Store) ShardStats() []ShardStat {
 		st := e.Stats()
 		sb := e.Storage()
 		out[i] = ShardStat{
-			Entries:    sb.Entries + int64(w) + int64(m),
-			Bytes:      sb.DataBytes + sb.IndexBytes,
-			Puts:       st.Puts,
-			MergeWaits: st.MergeWaits,
+			Entries:        sb.Entries + int64(w) + int64(m),
+			Bytes:          sb.DataBytes + sb.IndexBytes,
+			Puts:           st.Puts,
+			MergeWaits:     st.MergeWaits,
+			MaxCommitNanos: st.MaxCommitNanos,
 		}
 	}
 	return out
