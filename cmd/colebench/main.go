@@ -54,8 +54,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
+	"cole"
 	"cole/internal/bench"
 )
 
@@ -82,8 +87,22 @@ func main() {
 		keys     = flag.Int("keys", 0, "workloads: key population (default: the scale preset's record count)")
 		rate     = flag.Float64("rate", 0, "workloads/stalls: target arrival rate in ops/s (0 = closed loop; stalls calibrates its own)")
 		paceTgt  = flag.Int64("pacing-target", 0, "stalls: compaction-debt bytes at which ingest pacing reaches full delay (0 = auto-size from memcap)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile per experiment to <path>-<exp><ext>")
+		memProf  = flag.String("memprofile", "", "write a post-experiment heap profile per experiment to <path>-<exp><ext>")
+		traceOut = flag.String("trace-out", "", "attach the lifecycle tracer to every store and write per-experiment Chrome traces to <path>-<exp><ext> (+ JSONL next to each)")
+		metrics  = flag.String("metrics-addr", "", "serve live Prometheus metrics and pprof on this address (e.g. localhost:9090) for the run's duration")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		addr, shutdown, err := cole.ServeMetrics(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Printf("metrics at http://%s/metrics (pprof at /debug/pprof/)\n\n", addr)
+	}
 
 	cfg, heights, prov := preset(*scale)
 	if *blocks > 0 {
@@ -124,13 +143,56 @@ func main() {
 	cfg.PacingTarget = *paceTgt
 	prov.ScratchDir = *scratch
 
+	// The tracer must be in cfg before any experiment block runs: the
+	// pipeline experiments snapshot cfg when their block executes, not
+	// when the experiment starts. One ring serves every experiment —
+	// exported and reset between them, so each artifact holds exactly one
+	// experiment's timeline.
+	var tracer *cole.Tracer
+	if *traceOut != "" {
+		tracer = cole.NewTracer(0)
+		cfg.Trace = tracer
+	}
+
 	var tables []*bench.Table
 	run := func(name string, f func() (*bench.Table, error)) {
 		start := time.Now()
+		var cpuFile *os.File
+		if *cpuProf != "" {
+			cpuFile = createArtifact(*cpuProf, name)
+			if err := pprof.StartCPUProfile(cpuFile); err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		t, err := f()
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			closeArtifact(cpuFile)
+			fmt.Printf("cpu profile: %s\n", cpuFile.Name())
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
 			os.Exit(1)
+		}
+		if *memProf != "" {
+			heapFile := createArtifact(*memProf, name)
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(heapFile); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			closeArtifact(heapFile)
+			fmt.Printf("heap profile: %s\n", heapFile.Name())
+		}
+		if tracer != nil {
+			// Every store the experiment opened is closed by now, so the
+			// ring is quiescent and safe to export.
+			path := artifactPath(*traceOut, name)
+			exportTrace(tracer, path)
+			fmt.Printf("trace: %s (%d events, %d dropped; JSONL at %sl)\n",
+				path, tracer.Len(), tracer.Dropped(), path)
+			tracer.Reset()
 		}
 		fmt.Println(t.Render())
 		fmt.Printf("(%s finished in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
@@ -272,6 +334,53 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("report written to %s\n", *jsonOut)
+	}
+}
+
+// artifactPath inserts "-<name>" before the path's extension, so one
+// flag value yields one artifact per experiment.
+func artifactPath(path, name string) string {
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "-" + name + ext
+}
+
+func createArtifact(path, name string) *os.File {
+	f, err := os.Create(artifactPath(path, name))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "create %s: %v\n", artifactPath(path, name), err)
+		os.Exit(1)
+	}
+	return f
+}
+
+func closeArtifact(f *os.File) {
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "close %s: %v\n", f.Name(), err)
+		os.Exit(1)
+	}
+}
+
+// exportTrace writes the Chrome trace-event form at path and the raw
+// JSONL event log at path+"l".
+func exportTrace(tr *cole.Tracer, path string) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = tr.WriteChromeTrace(f)
+	}
+	if err == nil {
+		err = f.Close()
+	}
+	if err == nil {
+		var g *os.File
+		if g, err = os.Create(path + "l"); err == nil {
+			if err = tr.WriteJSONL(g); err == nil {
+				err = g.Close()
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace export: %v\n", err)
+		os.Exit(1)
 	}
 }
 

@@ -9,8 +9,9 @@
 //	coledb -dir ledger getbatch <addr> [<addr> ...]
 //	coledb -dir ledger getat <addr> <height>
 //	coledb -dir ledger prov <addr> <blkLo> <blkHi>
-//	coledb -dir ledger stat
+//	coledb -dir ledger stat [-json]
 //	coledb -dir ledger dump
+//	coledb -dir ledger trace <out.json> [<blocks> [<tx-per-block>]]
 //	coledb -dir ledger reshard <shards>
 //
 // Addresses and values are free-form strings (hashed/padded to their
@@ -18,6 +19,17 @@
 // engines committed in parallel; the count is persisted per directory,
 // reopening adopts it automatically, and existing unsharded directories
 // keep working as single-shard stores.
+//
+// stat -json emits the machine-readable form of stat, including the
+// per-operation latency histograms the engine records continuously.
+//
+// trace drives a synthetic write workload through the store with the
+// lifecycle tracer attached and writes two artifacts: a Chrome
+// trace-event file at <out.json> (open in Perfetto or chrome://tracing
+// — one lane per shard commit/flush/merge worker) and a JSONL event log
+// next to it at <out.json>l. -metrics-addr serves live Prometheus
+// metrics for every open store at /metrics (plus pprof under
+// /debug/pprof/) for the duration of any command.
 //
 // reshard rewrites the (closed, cleanly flushed) store to a new shard
 // count offline — a partitioned sort-merge of the immutable runs, never
@@ -28,6 +40,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -47,11 +60,21 @@ func main() {
 		m       = flag.Int("fanout", 4, "MHT fanout m")
 		shards  = flag.Int("shards", 0, "shard count for a fresh store (0 = adopt the directory's persisted count)")
 		workers = flag.Int("merge-workers", 0, "background merge worker budget shared across all shards (0 = GOMAXPROCS)")
+		metrics = flag.String("metrics-addr", "", "serve Prometheus metrics and pprof on this address (e.g. localhost:9090) while the command runs")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fail("missing command: put | get | getbatch | getat | prov | dump | stat | reshard")
+		fail("missing command: put | get | getbatch | getat | prov | dump | stat | trace | reshard")
+	}
+
+	if *metrics != "" {
+		addr, shutdown, err := cole.ServeMetrics(*metrics)
+		if err != nil {
+			fail("metrics: %v", err)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "metrics at http://%s/metrics (pprof at /debug/pprof/)\n", addr)
 	}
 
 	// reshard runs before (and instead of) the store open: it requires
@@ -79,12 +102,23 @@ func main() {
 		return
 	}
 
-	// A 1-shard store is byte-compatible with the unsharded engine, so the
-	// sharded open serves every store directory, old or new.
-	store, err := cole.OpenSharded(cole.Options{
+	opts := cole.Options{
 		Dir: *dir, AsyncMerge: *async, MemCapacity: *memB, SizeRatio: *ratio, Fanout: *m,
 		Shards: *shards, MergeWorkers: *workers,
-	})
+	}
+
+	// trace owns its store's whole open/run/close cycle: the tracer must
+	// be attached at open time, and export requires the store closed.
+	if args[0] == "trace" {
+		if err := runTrace(opts, args[1:]); err != nil {
+			fail("trace: %v", err)
+		}
+		return
+	}
+
+	// A 1-shard store is byte-compatible with the unsharded engine, so the
+	// sharded open serves every store directory, old or new.
+	store, err := cole.OpenSharded(opts)
 	if err != nil {
 		fail("open: %v", err)
 	}
@@ -217,6 +251,10 @@ func main() {
 	case "stat":
 		sb := store.Storage()
 		st := store.Stats()
+		if len(args) > 1 && args[1] == "-json" {
+			printStatJSON(store, st, sb)
+			return
+		}
 		fmt.Printf("height:      %d (checkpoint %d)\n", store.Height(), store.CheckpointHeight())
 		fmt.Printf("shards:      %d (reshard generation %d)\n", store.Shards(), store.Generation())
 		fmt.Printf("entries:     %d in %d runs across %d levels\n", sb.Entries, sb.Runs, sb.Levels)
@@ -283,6 +321,145 @@ func main() {
 		}
 	default:
 		fail("unknown command %q", args[0])
+	}
+}
+
+// runTrace drives a synthetic write burst through the store with the
+// lifecycle tracer attached, then exports the recorded timeline. It
+// owns the store's full open/run/close cycle because the tracer must be
+// present at open time and the ring may only be read once the store is
+// closed (export assumes recording has quiesced).
+func runTrace(opts cole.Options, args []string) error {
+	if len(args) < 1 || len(args) > 3 {
+		return fmt.Errorf("usage: trace <out.json> [<blocks> [<tx-per-block>]]")
+	}
+	out := args[0]
+	blocks, perBlock := uint64(64), uint64(256)
+	if len(args) >= 2 {
+		blocks = parseU64(args[1])
+	}
+	if len(args) == 3 {
+		perBlock = parseU64(args[2])
+	}
+	tracer := cole.NewTracer(0)
+	opts.Trace = tracer
+	store, err := cole.OpenSharded(opts)
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	// Reuse a bounded keyspace so flushed runs overlap and cascade into
+	// level merges — the lifecycle transitions the trace exists to show.
+	keys := blocks * perBlock / 4
+	if keys < 1 {
+		keys = 1
+	}
+	base := store.Height()
+	for b := uint64(1); b <= blocks; b++ {
+		if err := store.BeginBlock(base + b); err != nil {
+			store.Close()
+			return err
+		}
+		ups := make([]cole.Update, perBlock)
+		for i := range ups {
+			k := (uint64(i)*2654435761 + b*97) % keys
+			ups[i] = cole.Update{
+				Addr:  cole.AddressFromString(fmt.Sprintf("trace-%d", k)),
+				Value: cole.ValueFromBytes([]byte(fmt.Sprintf("b%d-%d", base+b, i))),
+			}
+		}
+		if err := store.PutBatch(ups); err != nil {
+			store.Close()
+			return err
+		}
+		if _, err := store.Commit(); err != nil {
+			store.Close()
+			return err
+		}
+	}
+	// Quiesce, then close: FlushAll joins every in-flight flush and
+	// merge, and Close stops the goroutines that record events.
+	if err := store.FlushAll(); err != nil {
+		store.Close()
+		return err
+	}
+	st := store.Stats()
+	if err := store.Close(); err != nil {
+		return err
+	}
+	if err := writeTraceArtifacts(tracer, out); err != nil {
+		return err
+	}
+	fmt.Printf("traced %d blocks x %d tx: %d events (%d dropped), %d commits, %d flushes, %d merges, %d preemptions\n",
+		blocks, perBlock, tracer.Len(), tracer.Dropped(), st.Commits, st.Flushes, st.Merges, st.Preemptions)
+	fmt.Printf("chrome trace: %s (open in Perfetto or chrome://tracing)\n", out)
+	fmt.Printf("jsonl events: %sl\n", out)
+	return nil
+}
+
+// writeTraceArtifacts writes the Chrome trace-event file at out and the
+// raw JSONL event log next to it at out+"l".
+func writeTraceArtifacts(tr *cole.Tracer, out string) error {
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("chrome trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	g, err := os.Create(out + "l")
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSONL(g); err != nil {
+		g.Close()
+		return fmt.Errorf("jsonl: %w", err)
+	}
+	return g.Close()
+}
+
+// printStatJSON is the machine-readable form of stat. Stats.Hist is a
+// live histogram handle excluded from the struct's own JSON encoding,
+// so the percentile summaries are attached as an explicit section.
+func printStatJSON(store *cole.ShardedStore, st cole.Stats, sb cole.StorageBreakdown) {
+	lat := map[string]interface{}{}
+	if st.Hist != nil {
+		lat["commit"] = st.Hist.Commit.Summary()
+		lat["put_batch"] = st.Hist.PutBatch.Summary()
+		lat["get"] = st.Hist.Get.Summary()
+		lat["get_batch"] = st.Hist.GetBatch.Summary()
+		lat["prov"] = st.Hist.Prov.Summary()
+	}
+	outDoc := struct {
+		Height     uint64                 `json:"height"`
+		Checkpoint uint64                 `json:"checkpoint"`
+		Shards     int                    `json:"shards"`
+		Generation uint64                 `json:"generation"`
+		Hstate     string                 `json:"hstate"`
+		Storage    cole.StorageBreakdown  `json:"storage"`
+		Stats      cole.Stats             `json:"stats"`
+		Latency    map[string]interface{} `json:"latency"`
+		PerShard   []cole.ShardStat       `json:"per_shard,omitempty"`
+	}{
+		Height:     store.Height(),
+		Checkpoint: store.CheckpointHeight(),
+		Shards:     store.Shards(),
+		Generation: store.Generation(),
+		Hstate:     fmt.Sprint(store.RootDigest()),
+		Storage:    sb,
+		Stats:      st,
+		Latency:    lat,
+	}
+	if ss := store.ShardStats(); len(ss) > 1 {
+		outDoc.PerShard = ss
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(outDoc); err != nil {
+		fail("stat: %v", err)
 	}
 }
 

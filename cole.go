@@ -41,8 +41,10 @@ package cole
 
 import (
 	"fmt"
+	"net/http"
 
 	"cole/internal/core"
+	"cole/internal/obs"
 	"cole/internal/reshard"
 	"cole/internal/run"
 	"cole/internal/shard"
@@ -74,6 +76,44 @@ type Proof = core.Proof
 
 // Stats aggregates engine counters.
 type Stats = core.Stats
+
+// OpHists is the set of always-on operation latency histograms carried
+// by Stats.Hist: Commit, PutBatch, Get, GetBatch, and Prov, one HDR
+// histogram each (~1.6% relative error), recorded in-engine on every
+// operation and summed across shards by a sharded store's Stats.
+type OpHists = core.OpHists
+
+// Tracer is a fixed-size, lock-free ring of engine lifecycle events
+// (flush/merge/commit phases, pacing sleeps, preemptions, view
+// publishes). Set one on Options.Trace to record a run, then export it
+// with WriteJSONL or WriteChromeTrace (the latter opens in Perfetto /
+// chrome://tracing). A single tracer may be shared by every shard of a
+// store; events carry the recording shard. When the ring fills, further
+// events are dropped and counted (Stats.TraceDropped), never
+// overwritten.
+type Tracer = obs.Tracer
+
+// TraceEvent is one recorded lifecycle event.
+type TraceEvent = obs.Event
+
+// NewTracer returns a tracer holding up to capacity events; capacity
+// <= 0 selects the default (256K events, ~14 MB).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// MetricsHandler returns an http.Handler serving the Prometheus text
+// exposition of every open store's counters and latency histograms
+// (engines register themselves on Open and unregister on Close),
+// labeled by store directory and shard.
+func MetricsHandler() http.Handler { return obs.Handler() }
+
+// MetricsMux returns a mux with the metrics exposition at /metrics and
+// the standard net/http/pprof profiling endpoints at /debug/pprof/.
+func MetricsMux() *http.ServeMux { return obs.Mux() }
+
+// ServeMetrics starts an HTTP server on addr (e.g. "localhost:9090")
+// serving MetricsMux. It returns the bound address (useful with a :0
+// port), a shutdown function, and any listen error.
+func ServeMetrics(addr string) (string, func() error, error) { return obs.Serve(addr) }
 
 // ReadResult is one point-lookup outcome of a batched read: the value,
 // the height it was written at, and whether the address exists.

@@ -83,14 +83,22 @@ func statsDelta(base, now core.Stats) core.Stats {
 	now.CommitNanos -= base.CommitNanos
 	now.StallNanos -= base.StallNanos
 	now.PaceNanos -= base.PaceNanos
+	now.PaceSleeps -= base.PaceSleeps
 	now.Preemptions -= base.Preemptions
 	now.PageReads -= base.PageReads
 	now.CacheHits -= base.CacheHits
+	now.SeqReads -= base.SeqReads
+	now.TraceDropped -= base.TraceDropped
 	// MaxCommitNanos is a high-water mark, not a counter: an unchanged
 	// mark means no commit in the window set a new worst, so the window
 	// owns none; a raised mark was set by a commit inside the window.
 	if now.MaxCommitNanos == base.MaxCommitNanos {
 		now.MaxCommitNanos = 0
+	}
+	// The histogram delta subtracts per bucket, so the window keeps its
+	// own latency distribution (a Stats built by hand may carry none).
+	if now.Hist != nil {
+		now.Hist = now.Hist.Delta(base.Hist)
 	}
 	return now
 }

@@ -123,10 +123,69 @@ func TestAmplificationFromEngineCounters(t *testing.T) {
 
 	// statsDelta isolates a window: after the run, the delta against the
 	// final snapshot is all-zero, and against the zero baseline is st.
-	if d := statsDelta(st, st); d != (core.Stats{}) {
+	// The histogram travels by pointer, so it is compared by count and
+	// cleared before the struct equality check.
+	d := statsDelta(st, st)
+	if d.Hist == nil || d.Hist.Commit.Count() != 0 || d.Hist.Get.Count() != 0 {
+		t.Fatalf("self-delta histograms not empty: %+v", d.Hist)
+	}
+	d.Hist = nil
+	if d != (core.Stats{}) {
 		t.Fatalf("self-delta not zero: %+v", d)
 	}
-	if d := statsDelta(core.Stats{}, st); d != st {
+	d = statsDelta(core.Stats{}, st)
+	if d.Hist.Commit.Count() != st.Hist.Commit.Count() {
+		t.Fatalf("zero-baseline delta lost histogram samples: %d vs %d",
+			d.Hist.Commit.Count(), st.Hist.Commit.Count())
+	}
+	d.Hist, st.Hist = nil, nil
+	if d != st {
 		t.Fatalf("zero-baseline delta changed counters")
+	}
+}
+
+// TestStatsDeltaHistWindow checks that statsDelta's histogram subtraction
+// isolates exactly the operations of a window: commits before the baseline
+// snapshot must not appear in the windowed distribution.
+func TestStatsDeltaHistWindow(t *testing.T) {
+	db, err := cole.Open(cole.Options{Dir: t.TempDir(), MemCapacity: 64, SizeRatio: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	run := func(from, blocks int) {
+		for b := from; b < from+blocks; b++ {
+			if err := db.BeginBlock(uint64(b)); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Put(types.AddressFromUint64(uint64(b%8)), types.ValueFromUint64(uint64(b))); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run(1, 10)
+	base := db.Stats()
+	run(11, 25)
+	d := statsDelta(base, db.Stats())
+
+	if d.Commits != 25 {
+		t.Fatalf("windowed Commits = %d, want 25", d.Commits)
+	}
+	if d.Hist == nil {
+		t.Fatal("windowed Stats.Hist is nil")
+	}
+	if got := d.Hist.Commit.Count(); got != 25 {
+		t.Fatalf("windowed commit histogram holds %d samples, want 25", got)
+	}
+	if s := d.Hist.Commit.Summary(); s == nil || s.Count != 25 || s.Min <= 0 {
+		t.Fatalf("windowed commit summary implausible: %+v", s)
+	}
+	// The baseline snapshot itself must be unchanged by the subtraction.
+	if got := base.Hist.Commit.Count(); got != 10 {
+		t.Fatalf("baseline mutated: %d samples, want 10", got)
 	}
 }

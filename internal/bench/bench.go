@@ -17,6 +17,7 @@ import (
 	"cole/internal/chain"
 	"cole/internal/core"
 	"cole/internal/kvstore"
+	"cole/internal/obs"
 	"cole/internal/workload"
 )
 
@@ -73,6 +74,12 @@ type SystemSpec struct {
 	// delay; 0 disables pacing. The stalls experiment's paced cells
 	// auto-size it from MemCap when the knob is unset.
 	PacingTarget int64
+	// Trace, when set, records engine lifecycle events (flushes, merge
+	// chunks, preemptions, pacing sleeps, commit phases) into the given
+	// ring for post-run export; nil (the default) keeps the recording
+	// branches disabled. The COLE systems thread it into every engine
+	// they open; the baselines ignore it.
+	Trace *obs.Tracer
 }
 
 // Config scales an experiment: the engine under test (SystemSpec), the
@@ -310,6 +317,7 @@ func openSystem(sys System, dir string, cfg Config) (*backendHandle, error) {
 			MergeWorkers:     cfg.MergeWorkers,
 			MergePartitions:  cfg.MergePartitions,
 			LegacyCompaction: cfg.IOMode == "legacy",
+			Trace:            cfg.Trace,
 		}
 		// The batched pipeline buffers each block and lands it as one
 		// PutBatch; digests are unchanged, so it is purely a perf knob.

@@ -1,150 +1,13 @@
 package bench
 
-import (
-	"math/bits"
-	"time"
-)
+import "cole/internal/hist"
 
-// Hist is an HDR-style log-linear latency histogram: values (nanoseconds)
-// land in buckets whose width doubles every histSubCount values, so the
-// relative quantization error is bounded by 1/histSubCount (~1.6%)
-// across the full range — sub-microsecond spins to multi-second stalls —
-// in a few KB of fixed memory. Recording is O(1) with no allocation, so
-// per-op recording does not perturb the latency being measured. A Hist
-// is single-goroutine state; the harness gives each worker its own and
-// Merges them afterwards.
-type Hist struct {
-	counts   [histBuckets]int64
-	total    int64
-	min, max int64
-}
+// Hist is the HDR-style log-linear latency histogram, promoted to
+// internal/hist so the engine can record into it on the hot path (the
+// always-on operation histograms in core.Stats). The harness keeps
+// these aliases so per-worker collection and report types read the
+// same as before the move.
+type Hist = hist.Hist
 
-const (
-	// histSubBits fixes the linear sub-bucket resolution (2^6 = 64
-	// sub-buckets per power of two).
-	histSubBits  = 6
-	histSubCount = 1 << histSubBits
-	// histBuckets covers every int64 nanosecond value: 64 linear buckets
-	// plus 64 per remaining power of two.
-	histBuckets = histSubCount * (65 - histSubBits)
-)
-
-// histIndex maps a non-negative nanosecond value to its bucket.
-func histIndex(v int64) int {
-	u := uint64(v)
-	if u < histSubCount {
-		return int(u)
-	}
-	exp := bits.Len64(u) - histSubBits - 1
-	return exp*histSubCount + int(u>>uint(exp))
-}
-
-// histValue returns the inclusive upper bound of a bucket — the value
-// reported for any sample that landed in it, guaranteeing percentiles
-// never under-report.
-func histValue(idx int) int64 {
-	if idx < histSubCount {
-		return int64(idx)
-	}
-	exp := idx/histSubCount - 1
-	sub := int64(idx - exp*histSubCount)
-	return (sub+1)<<uint(exp) - 1
-}
-
-// Record adds one latency sample.
-func (h *Hist) Record(d time.Duration) {
-	v := int64(d)
-	if v < 0 {
-		v = 0
-	}
-	h.counts[histIndex(v)]++
-	if h.total == 0 || v < h.min {
-		h.min = v
-	}
-	if v > h.max {
-		h.max = v
-	}
-	h.total++
-}
-
-// Merge folds another histogram into this one (per-worker histograms
-// into the run total).
-func (h *Hist) Merge(o *Hist) {
-	if o == nil || o.total == 0 {
-		return
-	}
-	for i, c := range o.counts {
-		h.counts[i] += c
-	}
-	if h.total == 0 || o.min < h.min {
-		h.min = o.min
-	}
-	if o.max > h.max {
-		h.max = o.max
-	}
-	h.total += o.total
-}
-
-// Count returns the number of recorded samples.
-func (h *Hist) Count() int64 { return h.total }
-
-// Percentile returns the latency at quantile p in [0, 1]: the smallest
-// bucket bound below which at least p of the samples fall. The exact
-// tracked extremes answer p = 0 and p = 1.
-func (h *Hist) Percentile(p float64) time.Duration {
-	if h.total == 0 {
-		return 0
-	}
-	if p <= 0 {
-		return time.Duration(h.min)
-	}
-	if p >= 1 {
-		return time.Duration(h.max)
-	}
-	rank := int64(p*float64(h.total) + 0.5)
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for i, c := range h.counts {
-		seen += c
-		if seen >= rank {
-			v := histValue(i)
-			if v > h.max {
-				v = h.max
-			}
-			return time.Duration(v)
-		}
-	}
-	return time.Duration(h.max)
-}
-
-// HistSummary is the wire form of a histogram for benchmark reports:
-// the percentile ladder the paper's tail-latency discussions use.
-type HistSummary struct {
-	Count               int64
-	Min, P50, P95, P99  time.Duration
-	P999, Max           time.Duration
-	MilliP50, MilliP99  float64 // same points in ms, for plotting
-	MilliP999, MilliMax float64
-}
-
-// Summary snapshots the percentile ladder.
-func (h *Hist) Summary() *HistSummary {
-	if h.total == 0 {
-		return nil
-	}
-	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
-	s := &HistSummary{
-		Count: h.total,
-		Min:   time.Duration(h.min),
-		P50:   h.Percentile(0.50),
-		P95:   h.Percentile(0.95),
-		P99:   h.Percentile(0.99),
-		P999:  h.Percentile(0.999),
-		Max:   time.Duration(h.max),
-	}
-	s.MilliP50, s.MilliP99 = ms(s.P50), ms(s.P99)
-	s.MilliP999, s.MilliMax = ms(s.P999), ms(s.Max)
-	return s
-}
+// HistSummary is the wire form of a histogram for benchmark reports.
+type HistSummary = hist.Summary

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cole"
+	"cole/internal/obs"
 	"cole/internal/types"
 	"cole/internal/workload"
 )
@@ -284,6 +285,9 @@ func StallBench(cfg Config, scratch string) (*Table, error) {
 	// heads keeps each system's p99.9 corners for the headline note.
 	type headline struct{ mono, both time.Duration }
 	heads := map[System]*headline{}
+	// traceChecked counts the timed cells whose trace event counts were
+	// verified against the engine's own counters (cfg.Trace set).
+	traceChecked := 0
 	for _, sys := range []System{SysCOLE, SysCOLEAsync} {
 		heads[sys] = &headline{}
 		for _, cell := range stallCells {
@@ -291,7 +295,18 @@ func StallBench(cfg Config, scratch string) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			db, err := cole.Open(stallOptions(dir, cfg, sys, cell, target, cfg.MemCap, chunk))
+			// Only the timed cells are traced: the identity pass and the
+			// rate probe would otherwise fill the ring with events no one
+			// exports.
+			o := stallOptions(dir, cfg, sys, cell, target, cfg.MemCap, chunk)
+			o.Trace = cfg.Trace
+			var preemptBase, paceBase, dropBase int64
+			if cfg.Trace != nil {
+				preemptBase = cfg.Trace.CountType(obs.EvMergePreempt)
+				paceBase = cfg.Trace.CountType(obs.EvPace)
+				dropBase = cfg.Trace.Dropped()
+			}
+			db, err := cole.Open(o)
 			if err != nil {
 				cleanup(dir)
 				return nil, err
@@ -301,6 +316,27 @@ func StallBench(cfg Config, scratch string) (*Table, error) {
 				db.Close()
 				cleanup(dir)
 				return nil, fmt.Errorf("%s/%s/%s: %w", sys, cell.pacing(), cell.mergeMode(), err)
+			}
+			if cfg.Trace != nil && cfg.Trace.Dropped() == dropBase {
+				// runOpenLoop ends with FlushAll, which joins every in-flight
+				// merge, so the engine is quiescent: its cumulative counters
+				// and the tracer's event counts must agree exactly. A ring
+				// that wrapped (drops) no longer holds every event, so the
+				// check only runs on loss-free cells.
+				st := db.Stats()
+				if got := cfg.Trace.CountType(obs.EvMergePreempt) - preemptBase; got != st.Preemptions {
+					db.Close()
+					cleanup(dir)
+					return nil, fmt.Errorf("%s/%s/%s: %d preempt trace events, %d Stats.Preemptions",
+						sys, cell.pacing(), cell.mergeMode(), got, st.Preemptions)
+				}
+				if got := cfg.Trace.CountType(obs.EvPace) - paceBase; got != st.PaceSleeps {
+					db.Close()
+					cleanup(dir)
+					return nil, fmt.Errorf("%s/%s/%s: %d pace trace events, %d Stats.PaceSleeps",
+						sys, cell.pacing(), cell.mergeMode(), got, st.PaceSleeps)
+				}
+				traceChecked++
 			}
 			st := r.stats
 			res := Result{
@@ -348,6 +384,11 @@ func StallBench(cfg Config, scratch string) (*Table, error) {
 				}
 			}
 		}
+	}
+	if traceChecked > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"trace verification: preempt/pace event counts matched Stats.Preemptions/PaceSleeps on %d/%d timed cells",
+			traceChecked, 2*len(stallCells)))
 	}
 	for _, sys := range []System{SysCOLE, SysCOLEAsync} {
 		h := heads[sys]

@@ -270,6 +270,7 @@ func Workloads(cfg Config, specs []workload.Spec, shards []int, scratchDir strin
 					BloomFP:      cfg.BloomFP,
 					AsyncMerge:   sys == SysCOLEAsync,
 					MergeWorkers: cfg.MergeWorkers,
+					Trace:        cfg.Trace,
 				}
 				var db cole.DB
 				if n > 1 {

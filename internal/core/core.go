@@ -47,14 +47,17 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"cole/internal/bloom"
+	"cole/internal/hist"
 	"cole/internal/mbtree"
 	"cole/internal/merge"
+	"cole/internal/obs"
 	"cole/internal/pagefile"
 	"cole/internal/run"
 	"cole/internal/types"
@@ -173,6 +176,21 @@ type Options struct {
 	// covers a replayed block can contribute its exact historical root to
 	// the combined digest instead of its current one. Default 512.
 	RootHistory int
+	// Trace attaches an opt-in lifecycle event tracer: every flush,
+	// merge (start/chunk/preempt/end), pacing sleep, commit phase
+	// (stall, manifest write, view publish/retire), and partition span
+	// records a typed, timestamped event into the tracer's fixed ring
+	// (internal/obs). nil (the default) disables tracing; every
+	// recording site costs exactly one nil check when disabled. A
+	// sharded store shares one tracer across all its engines — events
+	// carry the shard that recorded them — and the ring's drop count
+	// surfaces as Stats.TraceDropped.
+	Trace *obs.Tracer
+	// ShardIndex tags this engine's telemetry (trace events, metric
+	// labels) with its position in a sharded store. The shard layer sets
+	// it when opening per-shard engines; a standalone engine leaves it 0.
+	// It has no effect on storage or digests.
+	ShardIndex int
 }
 
 func (o Options) withDefaults() Options {
@@ -342,11 +360,92 @@ type Engine struct {
 	mergeWaits     atomic.Int64
 	partitionWaits atomic.Int64
 	// paceNanos accumulates ingest-pacing sleeps (taken outside mu so a
-	// paced writer never blocks Stats); preemptions counts chunked merges
-	// that handed their slot to higher-priority work, incremented from
-	// merge-job goroutines.
+	// paced writer never blocks Stats); paceSleeps counts them.
+	// preemptions counts chunked merges that handed their slot to
+	// higher-priority work, incremented from merge-job goroutines.
 	paceNanos   atomic.Int64
+	paceSleeps  atomic.Int64
 	preemptions atomic.Int64
+
+	// tr is the opt-in lifecycle tracer (Options.Trace) and shardID the
+	// shard tag its events carry. Both are set once at Open and never
+	// change, so every recording site is guarded by a single nil check —
+	// the whole cost of the disabled path.
+	tr      *obs.Tracer
+	shardID int32
+	// hists are the always-on operation latency histograms: atomic
+	// record (no lock, no allocation), snapshotted into Stats.Hist.
+	hists OpHists
+	// unregister removes this engine's metrics sources from the obs
+	// exposition registry; called once from Close.
+	unregister func()
+}
+
+// trace records one lifecycle event when tracing is enabled. The
+// tr != nil check lives in the callers so the disabled path inlines to
+// one branch without a call.
+func (e *Engine) trace(typ obs.EventType, level int32, bytes int64, id uint64, dur time.Duration) {
+	e.tr.Record(typ, e.shardID, level, bytes, id, dur)
+}
+
+// OpHists are the engine's always-on operation latency histograms, one
+// HDR log-linear histogram (internal/hist) per public operation class.
+// Recording is an atomic bucket increment, cheap enough to leave on
+// unconditionally; Stats carries a snapshot, and the shard layer merges
+// the per-shard snapshots so store-level quantiles reflect every shard.
+type OpHists struct {
+	// Commit is in-engine commit latency (lock to published view,
+	// pacing excluded — the same quantity CommitNanos totals).
+	Commit hist.Hist
+	// PutBatch is the in-lock latency of batched ingest (dedup + tree
+	// insert), pacing excluded.
+	PutBatch hist.Hist
+	// Get covers single point lookups (Get/GetAt, engine or snapshot).
+	Get hist.Hist
+	// GetBatch covers whole batched lookups (latency per batch, not per
+	// address).
+	GetBatch hist.Hist
+	// Prov covers provenance range queries including proof assembly.
+	Prov hist.Hist
+}
+
+// Snapshot returns a point-in-time copy of every histogram.
+func (h *OpHists) Snapshot() *OpHists {
+	return &OpHists{
+		Commit:   h.Commit.Snapshot(),
+		PutBatch: h.PutBatch.Snapshot(),
+		Get:      h.Get.Snapshot(),
+		GetBatch: h.GetBatch.Snapshot(),
+		Prov:     h.Prov.Snapshot(),
+	}
+}
+
+// Merge folds another snapshot into this one (per-shard into store
+// totals: counts sum, extremes take the cross-shard min/max).
+func (h *OpHists) Merge(o *OpHists) {
+	if o == nil {
+		return
+	}
+	h.Commit.Merge(&o.Commit)
+	h.PutBatch.Merge(&o.PutBatch)
+	h.Get.Merge(&o.Get)
+	h.GetBatch.Merge(&o.GetBatch)
+	h.Prov.Merge(&o.Prov)
+}
+
+// Delta returns the histograms of operations recorded since base — the
+// per-window distribution the bench harness reports (see statsDelta).
+func (h *OpHists) Delta(base *OpHists) *OpHists {
+	if base == nil {
+		return h.Snapshot()
+	}
+	return &OpHists{
+		Commit:   h.Commit.Sub(&base.Commit),
+		PutBatch: h.PutBatch.Sub(&base.PutBatch),
+		Get:      h.Get.Sub(&base.Get),
+		GetBatch: h.GetBatch.Sub(&base.GetBatch),
+		Prov:     h.Prov.Sub(&base.Prov),
+	}
 }
 
 // Stats aggregates engine counters for the benchmark harness.
@@ -403,9 +502,26 @@ type Stats struct {
 	// PageReads / CacheHits aggregate the point-read page-cache counters
 	// (value + index files) across the store's runs: physical 4 KiB reads
 	// vs LRU hits. Streaming merges never touch these caches, so a busy
-	// compaction does not depress the hit rate.
+	// compaction does not depress the hit rate. SeqReads counts the
+	// cache-bypassing readahead fetches of streaming merge readers —
+	// the compaction read traffic the other two deliberately exclude.
 	PageReads int64
 	CacheHits int64
+	SeqReads  int64
+	// PaceSleeps counts individual ingest-pacing delays (PaceNanos
+	// totals their time): with pacing working, many small sleeps replace
+	// one giant stall.
+	PaceSleeps int64
+	// TraceDropped is how many lifecycle events did not fit in the
+	// tracer's ring buffer (0 when tracing is off). A sharded store
+	// shares one tracer, so its Stats reports the max across shards, not
+	// the sum.
+	TraceDropped int64
+	// Hist is a snapshot of the always-on operation latency histograms.
+	// Excluded from JSON (reports carry percentile summaries instead)
+	// and inlined by the metrics walker (cole_commit_latency_seconds,
+	// not cole_hist_commit_latency_seconds).
+	Hist *OpHists `json:"-" obs:"inline"`
 }
 
 // Open creates or reopens a COLE store in opts.Dir with its own merge
@@ -426,10 +542,11 @@ func OpenWithScheduler(opts Options, sched *merge.Scheduler) (*Engine, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	if sched == nil {
+	ownPool := sched == nil
+	if ownPool {
 		sched = merge.New(opts.MergeWorkers)
 	}
-	e := &Engine{opts: opts, sched: sched}
+	e := &Engine{opts: opts, sched: sched, tr: opts.Trace, shardID: int32(opts.ShardIndex)}
 	for i := range e.mem {
 		g, err := newMemGroup(opts)
 		if err != nil {
@@ -452,6 +569,18 @@ func OpenWithScheduler(opts Options, sched *merge.Scheduler) (*Engine, error) {
 	// Publish the initial read view (the reopened structure with empty L0
 	// groups) so readers are lock-free from the first Get.
 	e.publishLocked()
+	// Register with the metrics exposition (/metrics serves every open
+	// engine's counters, labeled by store and shard). An engine that owns
+	// its merge pool also exposes the pool; for a shared pool the shard
+	// layer registers it once for the whole store.
+	labels := []obs.Label{{Key: "store", Value: opts.Dir}, {Key: "shard", Value: strconv.Itoa(opts.ShardIndex)}}
+	unregStats := obs.Register("", func() any { return e.Stats() }, labels...)
+	if ownPool {
+		unregSched := obs.Register("sched", func() any { return sched.Stats() }, obs.Label{Key: "store", Value: opts.Dir})
+		e.unregister = func() { unregStats(); unregSched() }
+	} else {
+		e.unregister = unregStats
+	}
 	return e, nil
 }
 
@@ -617,7 +746,12 @@ func (e *Engine) writeManifest() error {
 	if err != nil {
 		return err
 	}
-	return e.writeManifestBytes(raw)
+	start := time.Now()
+	err = e.writeManifestBytes(raw)
+	if e.tr != nil {
+		e.trace(obs.EvManifest, -1, int64(len(raw)), 0, time.Since(start))
+	}
+	return err
 }
 
 // commitIO is one pipelined cascade's deferred I/O: the manifest persist
@@ -665,13 +799,19 @@ func (e *Engine) startCommitIOLocked(raw []byte) {
 		v, i := rr.r.IOStats()
 		e.stats.PageReads += v.PageReads + i.PageReads
 		e.stats.CacheHits += v.CacheHits + i.CacheHits
+		e.stats.SeqReads += v.SeqReads + i.SeqReads
 	}
 	io := &commitIO{manifested: make(chan struct{})}
 	e.pendingIO = io
 	e.ioWG.Add(1)
 	go func() {
 		defer e.ioWG.Done()
-		if err := e.writeManifestBytes(raw); err != nil {
+		start := time.Now()
+		err := e.writeManifestBytes(raw)
+		if e.tr != nil {
+			e.trace(obs.EvManifest, -1, int64(len(raw)), 0, time.Since(start))
+		}
+		if err != nil {
 			io.err = err
 			close(io.manifested)
 			return
@@ -680,6 +820,9 @@ func (e *Engine) startCommitIOLocked(raw []byte) {
 		for _, rr := range retiring {
 			rr.retired.Store(true)
 			rr.release()
+			if e.tr != nil {
+				e.trace(obs.EvViewRetire, -1, rr.r.Count()*types.EntrySize, rr.r.ID, 0)
+			}
 		}
 	}()
 }
@@ -791,6 +934,7 @@ func (e *Engine) Stats() Stats {
 				v, i := rr.r.IOStats()
 				st.PageReads += v.PageReads + i.PageReads
 				st.CacheHits += v.CacheHits + i.CacheHits
+				st.SeqReads += v.SeqReads + i.SeqReads
 			}
 		}
 	}
@@ -801,7 +945,10 @@ func (e *Engine) Stats() Stats {
 	st.MergeWaits = e.mergeWaits.Load()
 	st.PartitionWaits = e.partitionWaits.Load()
 	st.PaceNanos = e.paceNanos.Load()
+	st.PaceSleeps = e.paceSleeps.Load()
 	st.Preemptions = e.preemptions.Load()
+	st.TraceDropped = e.tr.Dropped()
+	st.Hist = e.hists.Snapshot()
 	return st
 }
 
@@ -899,6 +1046,13 @@ func (e *Engine) closeRuns() {
 // Snapshots) must quiesce before Close: reads racing a Close fail with a
 // closed-file error.
 func (e *Engine) Close() error {
+	// Leave the metrics registry first so new scrapes stop observing the
+	// engine. A scrape already in flight may still call Stats(), which
+	// stays safe after close — counters are plain fields and atomics.
+	if e.unregister != nil {
+		e.unregister()
+		e.unregister = nil
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	// Join the pipelined commit I/O before touching run files: retirement

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"cole/internal/obs"
 	"cole/internal/types"
 )
 
@@ -111,4 +112,8 @@ func (e *Engine) pace(weight float64) {
 	}
 	time.Sleep(d)
 	e.paceNanos.Add(int64(d))
+	e.paceSleeps.Add(1)
+	if e.tr != nil {
+		e.trace(obs.EvPace, -1, debt, 0, d)
+	}
 }

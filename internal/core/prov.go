@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"cole/internal/bloom"
 	"cole/internal/mbtree"
@@ -112,6 +113,8 @@ func (e *Engine) provInView(v *view, addr types.Address, blkLo, blkHi uint64) ([
 	if blkHi < blkLo {
 		return nil, nil, fmt.Errorf("core: inverted block range [%d,%d]", blkLo, blkHi)
 	}
+	start := time.Now()
+	defer func() { e.hists.Prov.Record(time.Since(start)) }()
 	e.provQueries.Add(1)
 
 	kl := types.ProvLowerKey(addr, blkLo)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"cole/internal/types"
 )
 
@@ -61,6 +63,9 @@ func (e *Engine) GetBatch(addrs []types.Address) ([]ReadResult, error) {
 }
 
 func (e *Engine) getBatchInView(v *view, addrs []types.Address) ([]ReadResult, error) {
+	// The batch histogram records whole batches (one sample per call,
+	// not per address) — the unit the open-loop harness dispatches.
+	start := time.Now()
 	e.gets.Add(int64(len(addrs)))
 	out := make([]ReadResult, len(addrs))
 	for i, addr := range addrs {
@@ -70,6 +75,7 @@ func (e *Engine) getBatchInView(v *view, addrs []types.Address) ([]ReadResult, e
 		}
 		out[i] = ReadResult{Value: hit.Value, Blk: hit.Blk, Found: ok}
 	}
+	e.hists.GetBatch.Record(time.Since(start))
 	return out, nil
 }
 
@@ -87,10 +93,13 @@ func (e *Engine) getAt(addr types.Address, blk uint64) (types.Value, bool, error
 }
 
 func (e *Engine) lookup(addr types.Address, blk uint64) (versionHit, bool, error) {
+	start := time.Now()
 	v := e.acquireView()
 	defer v.release()
 	e.gets.Add(1)
-	return e.lookupInView(v, addr, blk)
+	hit, ok, err := e.lookupInView(v, addr, blk)
+	e.hists.Get.Record(time.Since(start))
+	return hit, ok, err
 }
 
 // lookupInView is the zero-lock point lookup (Algorithm 6) over one

@@ -2,9 +2,11 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"cole/internal/bloom"
 	"cole/internal/mbtree"
+	"cole/internal/obs"
 	"cole/internal/run"
 	"cole/internal/types"
 )
@@ -143,6 +145,9 @@ func (e *Engine) publishLocked() {
 	if old := e.viewPtr.Swap(v); old != nil {
 		old.release()
 	}
+	if e.tr != nil {
+		e.trace(obs.EvViewPublish, -1, 0, v.height, 0)
+	}
 }
 
 // retireLocked drops the structure references of runs removed by the
@@ -157,8 +162,12 @@ func (e *Engine) retireLocked() {
 		v, i := rr.r.IOStats()
 		e.stats.PageReads += v.PageReads + i.PageReads
 		e.stats.CacheHits += v.CacheHits + i.CacheHits
+		e.stats.SeqReads += v.SeqReads + i.SeqReads
 		rr.retired.Store(true)
 		rr.release()
+		if e.tr != nil {
+			e.trace(obs.EvViewRetire, -1, rr.r.Count()*types.EntrySize, rr.r.ID, 0)
+		}
 	}
 	e.retiring = nil
 }
@@ -205,16 +214,20 @@ func (s *Snapshot) Root() types.Hash { return s.v.root }
 
 // Get returns the latest value of addr as of the snapshot's height.
 func (s *Snapshot) Get(addr types.Address) (types.Value, bool, error) {
+	start := time.Now()
 	s.e.gets.Add(1)
 	hit, ok, err := s.e.lookupInView(s.v, addr, types.MaxBlock)
+	s.e.hists.Get.Record(time.Since(start))
 	return hit.Value, ok, err
 }
 
 // GetAt returns the value of addr active at block height blk (≤ the
 // snapshot height) and the height it was written at.
 func (s *Snapshot) GetAt(addr types.Address, blk uint64) (types.Value, uint64, bool, error) {
+	start := time.Now()
 	s.e.gets.Add(1)
 	hit, ok, err := s.e.lookupInView(s.v, addr, blk)
+	s.e.hists.Get.Record(time.Since(start))
 	return hit.Value, hit.Blk, ok, err
 }
 

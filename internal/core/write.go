@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"cole/internal/merge"
+	"cole/internal/obs"
 	"cole/internal/run"
 	"cole/internal/types"
 )
@@ -65,6 +67,10 @@ func (e *Engine) PutBatch(updates []Update) error {
 	// debt in proportion to how much of a block it represents, before
 	// taking the lock (the sleep must never block readers or merges).
 	e.pace(float64(len(updates)) / float64(e.opts.MemCapacity))
+	// The histogram measures the batch's real ingest work (lock + dedup
+	// + tree insert); the deliberate pacing sleep above is accounted in
+	// PaceNanos, exactly as CommitNanos excludes it.
+	start := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.inBlock {
@@ -75,6 +81,7 @@ func (e *Engine) PutBatch(updates []Update) error {
 		g.tree.Insert(types.CompoundKey{Addr: updates[0].Addr, Blk: e.height}, updates[0].Value)
 		g.filter.Add(updates[0].Addr)
 		e.stats.Puts++
+		e.hists.PutBatch.Record(time.Since(start))
 		return nil
 	}
 	// Dedup into the engine's scratch (the caller's batch is not
@@ -122,6 +129,7 @@ func (e *Engine) PutBatch(updates []Update) error {
 	// Puts counts submitted updates (what the workload issued), matching
 	// the sequential-Put accounting.
 	e.stats.Puts += int64(len(updates))
+	e.hists.PutBatch.Record(time.Since(start))
 	return nil
 }
 
@@ -205,6 +213,10 @@ func (e *Engine) Commit() (types.Hash, error) {
 	if d > e.stats.MaxCommitNanos {
 		e.stats.MaxCommitNanos = d
 	}
+	e.hists.Commit.Record(time.Duration(d))
+	if e.tr != nil {
+		e.trace(obs.EvCommit, -1, 0, e.committed, time.Duration(d))
+	}
 	return root, nil
 }
 
@@ -269,7 +281,15 @@ func (e *Engine) cascadeSync() error {
 	// The whole sync cascade is the commit path, so its jobs run in the
 	// flush lane: a commit must never queue behind background maintenance.
 	e.sched.Run(func() {
+		var fs time.Time
+		if e.tr != nil {
+			fs = time.Now()
+			e.trace(obs.EvFlushStart, 0, int64(len(entries))*types.EntrySize, id, 0)
+		}
 		r, err = run.Build(e.opts.Dir, id, int64(len(entries)), e.opts.runParams(), run.NewSliceIterator(entries))
+		if e.tr != nil {
+			e.trace(obs.EvFlushEnd, 0, int64(len(entries))*types.EntrySize, id, time.Since(fs))
+		}
 	}, merge.PriorityFlush, e.noteMergeWait)
 	if err != nil {
 		return fmt.Errorf("core: flush L0: %w", err)
@@ -288,7 +308,7 @@ func (e *Engine) cascadeSync() error {
 		if len(lv.groups[0]) < e.opts.SizeRatio {
 			break
 		}
-		merged, err := e.buildMergedRun(runsOf(lv.groups[0]))
+		merged, err := e.buildMergedRun(i+1, runsOf(lv.groups[0]))
 		if err != nil {
 			return err
 		}
@@ -366,7 +386,11 @@ func (e *Engine) commitMerge(ms *mergeState, destLevel int) error {
 		e.mergeWaits.Add(1)
 		stallStart := time.Now()
 		<-ms.done
-		e.stats.StallNanos += int64(time.Since(stallStart))
+		stall := time.Since(stallStart)
+		e.stats.StallNanos += int64(stall)
+		if e.tr != nil {
+			e.trace(obs.EvStall, int32(destLevel), 0, 0, stall)
+		}
 	}
 	if ms.err != nil {
 		return fmt.Errorf("core: background merge failed: %w", ms.err)
@@ -391,11 +415,20 @@ func (e *Engine) commitMerge(ms *mergeState, destLevel int) error {
 func (e *Engine) startMemFlush(g *memGroup) *mergeState {
 	id := e.nextRunID
 	e.nextRunID++
+	size := int64(g.tree.Size()) * types.EntrySize
 	ms := &mergeState{done: make(chan struct{})}
 	e.sched.Submit(func() {
 		defer close(ms.done)
+		var fs time.Time
+		if e.tr != nil {
+			fs = time.Now()
+			e.trace(obs.EvFlushStart, 0, size, id, 0)
+		}
 		entries := collectTree(g)
 		r, err := run.Build(e.opts.Dir, id, int64(len(entries)), e.opts.runParams(), run.NewSliceIterator(entries))
+		if e.tr != nil {
+			e.trace(obs.EvFlushEnd, 0, size, id, time.Since(fs))
+		}
 		if err != nil {
 			ms.err = err
 			return
@@ -435,15 +468,30 @@ func (e *Engine) chunkQuantum() int {
 // entries and hands its worker slot to queued higher-priority work
 // (run.Chunked + Scheduler.Preempt). Flush-lane jobs are never wrapped —
 // nothing outranks them, so the probe would be dead weight on the
-// commit path.
-func (e *Engine) chunked(it run.Iterator, pri merge.Priority) run.Iterator {
+// commit path. lvl tags the trace events with the merge's destination
+// level index.
+func (e *Engine) chunked(it run.Iterator, pri merge.Priority, lvl int32) run.Iterator {
 	q := e.chunkQuantum()
 	if q <= 0 || pri == merge.PriorityFlush {
 		return it
 	}
+	if e.tr == nil {
+		return run.Chunked(it, q, func() {
+			if e.sched.Preempt(pri, nil) {
+				e.preemptions.Add(1)
+			}
+		})
+	}
+	// Traced variant: every checkpoint is an instant, and a preemption
+	// records how long the merge sat re-queued — exactly one trace
+	// preempt event per counted preemption, the invariant the stalls
+	// benchmark cross-checks.
 	return run.Chunked(it, q, func() {
+		e.trace(obs.EvMergeChunk, lvl, 0, 0, 0)
+		start := time.Now()
 		if e.sched.Preempt(pri, nil) {
 			e.preemptions.Add(1)
+			e.trace(obs.EvMergePreempt, lvl, 0, 0, time.Since(start))
 		}
 	})
 }
@@ -459,11 +507,18 @@ func (e *Engine) startLevelMerge(levelIdx int, runs []*run.Run) *mergeState {
 	}
 	ms := &mergeState{done: make(chan struct{})}
 	pri := levelPriority(levelIdx)
+	lvl := int32(levelIdx + 1)
 	e.sched.Submit(func() {
 		defer close(ms.done)
 		start := time.Now()
 		defer func() { ms.elapsed = time.Since(start) }()
-		r, err := e.buildLevelRun(id, count, runs, pri)
+		if e.tr != nil {
+			e.trace(obs.EvMergeStart, lvl, count*types.EntrySize, id, 0)
+		}
+		r, err := e.buildLevelRun(id, count, runs, pri, lvl)
+		if e.tr != nil {
+			e.trace(obs.EvMergeEnd, lvl, count*types.EntrySize, id, time.Since(start))
+		}
 		if err != nil {
 			ms.err = err
 			return
@@ -474,8 +529,9 @@ func (e *Engine) startLevelMerge(levelIdx int, runs []*run.Run) *mergeState {
 }
 
 // buildMergedRun sort-merges a group of runs synchronously (Algorithm 1
-// lines 8–11), on the shared merge pool.
-func (e *Engine) buildMergedRun(runs []*run.Run) (*run.Run, error) {
+// lines 8–11), on the shared merge pool. lvl is the destination level
+// index, used only to tag trace events.
+func (e *Engine) buildMergedRun(lvl int, runs []*run.Run) (*run.Run, error) {
 	id := e.nextRunID
 	e.nextRunID++
 	var count int64
@@ -488,8 +544,14 @@ func (e *Engine) buildMergedRun(runs []*run.Run) (*run.Run, error) {
 	// their partitions out — in the flush lane, unchunked.
 	e.sched.Run(func() {
 		start := time.Now()
-		merged, err = e.buildLevelRun(id, count, runs, merge.PriorityFlush)
+		if e.tr != nil {
+			e.trace(obs.EvMergeStart, int32(lvl), count*types.EntrySize, id, 0)
+		}
+		merged, err = e.buildLevelRun(id, count, runs, merge.PriorityFlush, int32(lvl))
 		e.stats.MergeNanos += int64(time.Since(start))
+		if e.tr != nil {
+			e.trace(obs.EvMergeEnd, int32(lvl), count*types.EntrySize, id, time.Since(start))
+		}
 	}, merge.PriorityFlush, e.noteMergeWait)
 	if err != nil {
 		return nil, fmt.Errorf("core: level merge: %w", err)
@@ -531,26 +593,41 @@ func (e *Engine) mergeWidth(count int64) int {
 // parent's released slot is what feeds its own spans on a narrow pool.
 // The partitioned output is byte-identical to the sequential build, so
 // the choice never reaches digests or the manifest.
-func (e *Engine) buildLevelRun(id uint64, count int64, runs []*run.Run, pri merge.Priority) (*run.Run, error) {
+func (e *Engine) buildLevelRun(id uint64, count int64, runs []*run.Run, pri merge.Priority, lvl int32) (*run.Run, error) {
 	if width := e.mergeWidth(count); width > 1 {
 		spans, err := run.PlanRuns(runs, width, e.opts.PageSize)
 		if err != nil {
 			return nil, err
 		}
 		if len(spans) > 1 {
+			spawn := func(fn func()) { e.sched.SubmitPartition(fn, pri, e.notePartitionWait) }
+			if e.tr != nil {
+				// Bracket each span on its own trace lane; the ordinal
+				// is assigned in spawn order (the planner's span order).
+				var seq atomic.Uint64
+				spawn = func(fn func()) {
+					ord := seq.Add(1) - 1
+					e.sched.SubmitPartition(func() {
+						start := time.Now()
+						e.trace(obs.EvSpanStart, lvl, 0, ord, 0)
+						fn()
+						e.trace(obs.EvSpanEnd, lvl, 0, ord, time.Since(start))
+					}, pri, e.notePartitionWait)
+				}
+			}
 			par := run.Parallel{
-				Spawn: func(fn func()) { e.sched.SubmitPartition(fn, pri, e.notePartitionWait) },
+				Spawn: spawn,
 				Yield: func(wait func()) { e.sched.Yield(pri, wait, e.notePartitionWait) },
 			}
 			// Each span holds its own pool slot, so each preempts
 			// independently: one queued flush pauses one span, not the
 			// whole fan-out.
 			return run.BuildPartitioned(e.opts.Dir, id, count, e.opts.runParams(), spans,
-				func(sp run.Span) (run.Iterator, error) { return e.chunked(run.MergeRunsRange(runs, sp), pri), nil }, par)
+				func(sp run.Span) (run.Iterator, error) { return e.chunked(run.MergeRunsRange(runs, sp), pri, lvl), nil }, par)
 		}
 	}
 	it := run.MergeRuns(runs)
-	r, err := run.Build(e.opts.Dir, id, count, e.opts.runParams(), e.chunked(it, pri))
+	r, err := run.Build(e.opts.Dir, id, count, e.opts.runParams(), e.chunked(it, pri, lvl))
 	if err != nil {
 		return nil, err
 	}
@@ -607,7 +684,15 @@ func (e *Engine) FlushAll() error {
 		entries := collectTree(g)
 		id := e.nextRunID
 		e.nextRunID++
+		var fs time.Time
+		if e.tr != nil {
+			fs = time.Now()
+			e.trace(obs.EvFlushStart, 0, int64(len(entries))*types.EntrySize, id, 0)
+		}
 		r, err := run.Build(e.opts.Dir, id, int64(len(entries)), e.opts.runParams(), run.NewSliceIterator(entries))
+		if e.tr != nil {
+			e.trace(obs.EvFlushEnd, 0, int64(len(entries))*types.EntrySize, id, time.Since(fs))
+		}
 		if err != nil {
 			return err
 		}

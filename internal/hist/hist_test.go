@@ -1,8 +1,9 @@
-package bench
+package hist
 
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 )
@@ -24,8 +25,8 @@ func refPercentile(sorted []time.Duration, p float64) time.Duration {
 // want: one sub-bucket of relative error plus one nanosecond.
 func within(t *testing.T, label string, got, want time.Duration) {
 	t.Helper()
-	lo := want - want/histSubCount - 1
-	hi := want + want/histSubCount + 1
+	lo := want - want/subCount - 1
+	hi := want + want/subCount + 1
 	if got < lo || got > hi {
 		t.Fatalf("%s: got %v, reference %v (allowed [%v, %v])", label, got, want, lo, hi)
 	}
@@ -133,23 +134,106 @@ func TestHistBucketScheme(t *testing.T) {
 	// The first linear region is exact; beyond it every bucket's upper
 	// bound maps back to its own bucket (the round-trip that makes
 	// percentile reporting monotone).
-	for v := int64(0); v < histSubCount; v++ {
-		if histValue(histIndex(v)) != v {
+	for v := int64(0); v < subCount; v++ {
+		if value(index(v)) != v {
 			t.Fatalf("linear region not exact at %d", v)
 		}
 	}
-	for idx := histSubCount; idx < histBuckets; idx += 37 {
-		if histIndex(histValue(idx)) != idx {
-			t.Fatalf("bucket %d: upper bound %d maps to %d", idx, histValue(idx), histIndex(histValue(idx)))
+	for idx := subCount; idx < buckets; idx += 37 {
+		if index(value(idx)) != idx {
+			t.Fatalf("bucket %d: upper bound %d maps to %d", idx, value(idx), index(value(idx)))
 		}
 	}
 	// Quantization error is bounded by one sub-bucket width.
 	r := rand.New(rand.NewSource(3))
 	for i := 0; i < 10_000; i++ {
 		v := int64(r.Uint64() >> (1 + r.Intn(40)))
-		got := histValue(histIndex(v))
-		if got < v || got-v > v/histSubCount+1 {
+		got := value(index(v))
+		if got < v || got-v > v/subCount+1 {
 			t.Fatalf("value %d reported as %d", v, got)
 		}
+	}
+}
+
+func TestHistConcurrentRecord(t *testing.T) {
+	// The always-on engine histograms are shared by every reader and the
+	// commit path: concurrent Records must not lose samples (and must be
+	// -race clean).
+	var h Hist
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(r.Intn(1_000_000)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("lost samples: count %d, want %d", h.Count(), workers*per)
+	}
+	var sum int64
+	for i := range h.counts {
+		sum += h.counts[i]
+	}
+	if sum != workers*per {
+		t.Fatalf("bucket sum %d, want %d", sum, workers*per)
+	}
+	if h.Percentile(1) >= time.Duration(1_000_000) && h.maxVal() >= 1_000_000 {
+		t.Fatalf("max out of range: %v", h.Percentile(1))
+	}
+}
+
+func TestHistSubDelta(t *testing.T) {
+	// Sub must isolate the window between two snapshots: the delta's
+	// count and percentiles describe only the samples recorded after the
+	// baseline was taken.
+	var h Hist
+	for i := 0; i < 1_000; i++ {
+		h.Record(time.Duration(1_000)) // fast ops before the window
+	}
+	base := h.Snapshot()
+	for i := 0; i < 500; i++ {
+		h.Record(time.Duration(50_000_000)) // slow ops inside the window
+	}
+	d := h.Sub(&base)
+	if d.Count() != 500 {
+		t.Fatalf("delta count %d, want 500", d.Count())
+	}
+	within(t, "delta p50", d.Percentile(0.5), 50*time.Millisecond)
+	// Extremes are re-derived from the delta's buckets: the fast
+	// pre-window samples must not leak into the delta's min.
+	if d.Percentile(0) < 40*time.Millisecond {
+		t.Fatalf("delta min %v leaked pre-window samples", d.Percentile(0))
+	}
+	// Subtracting from a nil baseline is a snapshot.
+	full := h.Sub(nil)
+	if full.Count() != 1_500 {
+		t.Fatalf("nil-base count %d", full.Count())
+	}
+	// An empty window yields an empty, summary-nil histogram.
+	now := h.Snapshot()
+	empty := h.Sub(&now)
+	if empty.Count() != 0 || empty.Summary() != nil {
+		t.Fatalf("empty window: count %d", empty.Count())
+	}
+}
+
+func TestHistSnapshotIsInert(t *testing.T) {
+	var h Hist
+	for i := 0; i < 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	h.Record(time.Hour)
+	if s.Count() != 100 {
+		t.Fatalf("snapshot count %d", s.Count())
+	}
+	if s.Percentile(1) >= time.Hour {
+		t.Fatal("snapshot saw a sample recorded after it was taken")
 	}
 }

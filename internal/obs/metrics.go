@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+
+	"cole/internal/hist"
+)
+
+// Metrics exposition: every open engine (and shared merge pool)
+// registers a stats source — a function returning its counter struct —
+// and Handler() renders all of them in Prometheus text format on each
+// scrape. The walk is reflective, so a counter added to core.Stats,
+// merge.Stats, or pagefile.IOStats shows up on /metrics without any
+// exposition code changing: int fields become counters named
+// cole_<snake_case_path>, nested structs extend the path, and
+// hist.Hist fields become summaries with quantile labels (values in
+// seconds, per Prometheus convention).
+//
+// Struct tags steer the walk: `obs:"-"` skips a field, `obs:"inline"`
+// recurses without adding a path segment (core.Stats uses it for the
+// operation-histogram block, so its metrics read cole_commit_latency_
+// seconds rather than cole_hist_commit_latency_seconds).
+
+// Label is one key=value pair attached to every metric of a source.
+type Label struct{ Key, Value string }
+
+type source struct {
+	prefix string
+	labels []Label
+	fn     func() any
+}
+
+var (
+	regMu     sync.Mutex
+	registry  = map[int64]*source{}
+	nextregID int64
+)
+
+// Register adds a stats source: fn is called on every scrape and must
+// return a struct (or pointer to one) of counters. prefix, if
+// non-empty, namespaces the source's metrics (cole_<prefix>_...);
+// labels are attached to every sample. The returned function removes
+// the source — engines call it from Close.
+func Register(prefix string, fn func() any, labels ...Label) (unregister func()) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	nextregID++
+	id := nextregID
+	registry[id] = &source{prefix: prefix, labels: labels, fn: fn}
+	return func() {
+		regMu.Lock()
+		defer regMu.Unlock()
+		delete(registry, id)
+	}
+}
+
+// snapshotSources copies the registered sources so stats functions run
+// outside the registry lock (they may take engine locks of their own).
+func snapshotSources() []*source {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]*source, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	return out
+}
+
+// sample is one exposition line: rendered label set plus value text.
+type sample struct {
+	labels string
+	value  string
+}
+
+type collector struct {
+	types   map[string]string // metric name -> TYPE
+	samples map[string][]sample
+}
+
+var histType = reflect.TypeOf(hist.Hist{})
+
+func (c *collector) walk(v reflect.Value, path string, labels string) {
+	for v.Kind() == reflect.Pointer || v.Kind() == reflect.Interface {
+		if v.IsNil() {
+			return
+		}
+		v = v.Elem()
+	}
+	if v.Type() == histType {
+		c.addHist(v, path, labels)
+		return
+	}
+	switch v.Kind() {
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			tag := f.Tag.Get("obs")
+			if tag == "-" {
+				continue
+			}
+			child := path
+			if tag != "inline" {
+				child = joinPath(path, snake(f.Name))
+			}
+			c.walk(v.Field(i), child, labels)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		c.add(path, "counter", labels, fmt.Sprintf("%d", v.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		c.add(path, "counter", labels, fmt.Sprintf("%d", v.Uint()))
+	case reflect.Float32, reflect.Float64:
+		c.add(path, "gauge", labels, fmt.Sprintf("%g", v.Float()))
+	}
+}
+
+func (c *collector) add(name, typ, labels, value string) {
+	if name == "" {
+		return
+	}
+	metric := "cole_" + name
+	if _, ok := c.types[metric]; !ok {
+		c.types[metric] = typ
+	}
+	c.samples[metric] = append(c.samples[metric], sample{labels: labels, value: value})
+}
+
+// addHist renders a histogram as a Prometheus summary: quantile-labeled
+// points in seconds plus _sum and _count series.
+func (c *collector) addHist(v reflect.Value, path string, labels string) {
+	h, ok := v.Interface().(hist.Hist)
+	if !ok {
+		return
+	}
+	name := path + "_latency_seconds"
+	metric := "cole_" + name
+	if _, ok := c.types[metric]; !ok {
+		c.types[metric] = "summary"
+	}
+	secs := func(ns int64) string { return fmt.Sprintf("%g", float64(ns)/1e9) }
+	for _, q := range []struct {
+		p float64
+		s string
+	}{{0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}, {0.999, "0.999"}} {
+		ql := fmt.Sprintf(`quantile=%q`, q.s)
+		if labels != "" {
+			ql = labels + "," + ql
+		}
+		c.samples[metric] = append(c.samples[metric],
+			sample{labels: ql, value: secs(int64(h.Percentile(q.p)))})
+	}
+	c.samples[metric+"_sum"] = append(c.samples[metric+"_sum"], sample{labels: labels, value: secs(h.Sum())})
+	c.samples[metric+"_count"] = append(c.samples[metric+"_count"], sample{labels: labels, value: fmt.Sprintf("%d", h.Count())})
+}
+
+func (c *collector) writeTo(w http.ResponseWriter) {
+	names := make([]string, 0, len(c.samples))
+	for name := range c.samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if typ, ok := c.types[name]; ok {
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		}
+		for _, s := range c.samples[name] {
+			if s.labels == "" {
+				fmt.Fprintf(w, "%s %s\n", name, s.value)
+			} else {
+				fmt.Fprintf(w, "%s{%s} %s\n", name, s.labels, s.value)
+			}
+		}
+	}
+}
+
+func joinPath(path, field string) string {
+	if path == "" {
+		return field
+	}
+	return path + "_" + field
+}
+
+// snake converts a Go exported identifier to snake_case: PageReads ->
+// page_reads, IOStats -> io_stats, MaxCommitNanos -> max_commit_nanos.
+func snake(s string) string {
+	var b strings.Builder
+	rs := []rune(s)
+	for i, r := range rs {
+		if r >= 'A' && r <= 'Z' {
+			prevLower := i > 0 && rs[i-1] >= 'a' && rs[i-1] <= 'z'
+			nextLower := i+1 < len(rs) && rs[i+1] >= 'a' && rs[i+1] <= 'z'
+			if i > 0 && (prevLower || nextLower) {
+				b.WriteByte('_')
+			}
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// renderLabels formats a label set for exposition lines, escaping
+// values per the text format.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(labels))
+	for _, l := range labels {
+		v := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(l.Value)
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, l.Key, v))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Handler returns the /metrics endpoint: all registered sources,
+// rendered in Prometheus text exposition format.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c := &collector{types: map[string]string{}, samples: map[string][]sample{}}
+		for _, s := range snapshotSources() {
+			v := s.fn()
+			if v == nil {
+				continue
+			}
+			c.walk(reflect.ValueOf(v), s.prefix, renderLabels(s.labels))
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.writeTo(w)
+	})
+}
+
+// Mux returns the telemetry mux: /metrics plus the standard
+// net/http/pprof endpoints (wired explicitly so the handler works on
+// any mux, not just http.DefaultServeMux).
+func Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves Mux on it in the background, returning
+// the bound address (useful with ":0") and a shutdown function.
+func Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Mux()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

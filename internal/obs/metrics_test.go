@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"cole/internal/hist"
+)
+
+type fakeIO struct {
+	PageReads int64
+	CacheHits int64
+}
+
+type fakeStats struct {
+	Puts     int64
+	Gets     int64
+	IO       fakeIO
+	Ratio    float64
+	Secret   int64 `obs:"-"`
+	internal int64
+	Ops      *fakeOps `obs:"inline"`
+}
+
+type fakeOps struct {
+	Commit hist.Hist
+	Get    hist.Hist
+}
+
+func scrape(t *testing.T) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body, _ := io.ReadAll(rec.Body)
+	return string(body)
+}
+
+// expositionLine matches valid Prometheus text-format sample lines.
+var expositionLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [0-9eE.+-]+$`)
+
+func TestMetricsExposition(t *testing.T) {
+	ops := &fakeOps{}
+	for i := 0; i < 100; i++ {
+		ops.Commit.Record(2 * time.Millisecond)
+	}
+	st := fakeStats{Puts: 10, Gets: 20, IO: fakeIO{PageReads: 5, CacheHits: 4}, Ratio: 1.5, Secret: 99, Ops: ops}
+	unreg := Register("", func() any { return st }, Label{"store", "/tmp/x"}, Label{"shard", "0"})
+	defer unreg()
+	unregSched := Register("sched", func() any {
+		return struct{ Submitted int64 }{7}
+	}, Label{"store", "/tmp/x"})
+	defer unregSched()
+
+	body := scrape(t)
+	for _, want := range []string{
+		`cole_puts{store="/tmp/x",shard="0"} 10`,
+		`cole_gets{store="/tmp/x",shard="0"} 20`,
+		`cole_io_page_reads{store="/tmp/x",shard="0"} 5`,
+		`cole_io_cache_hits{store="/tmp/x",shard="0"} 4`,
+		`cole_ratio{store="/tmp/x",shard="0"} 1.5`,
+		`cole_sched_submitted{store="/tmp/x"} 7`,
+		`cole_commit_latency_seconds{store="/tmp/x",shard="0",quantile="0.5"}`,
+		`cole_commit_latency_seconds_count{store="/tmp/x",shard="0"} 100`,
+		`cole_commit_latency_seconds_sum{store="/tmp/x",shard="0"}`,
+		`# TYPE cole_puts counter`,
+		`# TYPE cole_commit_latency_seconds summary`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("missing %q in:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "secret") || strings.Contains(body, "internal") {
+		t.Fatalf("skipped fields leaked:\n%s", body)
+	}
+	// The inline tag must not leave an ops_ path segment behind.
+	if strings.Contains(body, "cole_ops_") {
+		t.Fatalf("inline tag ignored:\n%s", body)
+	}
+	// Every non-comment line is format-valid.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("invalid exposition line %q", line)
+		}
+	}
+	// The 2ms recordings must surface in seconds (~0.002), not nanos.
+	q50 := regexp.MustCompile(`cole_commit_latency_seconds\{[^}]*quantile="0.5"\} ([0-9.e+-]+)`)
+	m := q50.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("no p50 sample:\n%s", body)
+	}
+	if !strings.HasPrefix(m[1], "0.002") {
+		t.Fatalf("p50 %s, want ~0.002s", m[1])
+	}
+
+	// Unregistering removes the source from subsequent scrapes.
+	unreg()
+	if body := scrape(t); strings.Contains(body, "cole_puts") {
+		t.Fatalf("unregistered source still exposed:\n%s", body)
+	}
+}
+
+func TestMetricsLabelEscaping(t *testing.T) {
+	unreg := Register("", func() any {
+		return struct{ X int64 }{1}
+	}, Label{"store", `C:\data "hot"`})
+	defer unreg()
+	body := scrape(t)
+	if !strings.Contains(body, `cole_x{store="C:\\data \"hot\""} 1`) {
+		t.Fatalf("label not escaped:\n%s", body)
+	}
+}
+
+func TestMetricsNilSource(t *testing.T) {
+	unreg := Register("", func() any { return nil })
+	defer unreg()
+	scrape(t) // must not panic
+}
+
+func TestMuxRoutes(t *testing.T) {
+	mux := Mux()
+	for _, path := range []string{"/metrics", "/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s -> %d", path, rec.Code)
+		}
+	}
+}
+
+func TestSnakeCase(t *testing.T) {
+	for in, want := range map[string]string{
+		"Puts":           "puts",
+		"PageReads":      "page_reads",
+		"MaxCommitNanos": "max_commit_nanos",
+		"IOStats":        "io_stats",
+		"SeqReads":       "seq_reads",
+		"TraceDropped":   "trace_dropped",
+	} {
+		if got := snake(in); got != want {
+			t.Fatalf("snake(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

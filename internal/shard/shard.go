@@ -34,6 +34,7 @@ import (
 	"cole/internal/core"
 	"cole/internal/merge"
 	"cole/internal/mht"
+	"cole/internal/obs"
 	"cole/internal/run"
 	"cole/internal/types"
 )
@@ -92,6 +93,10 @@ type Store struct {
 	// unlock releases the directory's advisory flock (held from Open to
 	// Close so concurrent opens and offline reshards fail loudly).
 	unlock func()
+
+	// unregister removes the store's shared merge pool from the metrics
+	// registry (each engine registers — and unregisters — itself).
+	unregister func()
 
 	// mu serializes block lifecycle against reads: BeginBlock, Commit,
 	// FlushAll and Close take the write lock; Put and queries take the
@@ -219,6 +224,7 @@ func Open(opts core.Options) (*Store, error) {
 	for i := 0; i < n; i++ {
 		eo := opts
 		eo.Shards = 1
+		eo.ShardIndex = i
 		eo.Dir = EngineDir(opts.Dir, gen, n, i)
 		e, err := core.OpenWithScheduler(eo, s.sched)
 		if err != nil {
@@ -235,6 +241,10 @@ func Open(opts core.Options) (*Store, error) {
 		}
 		return nil, err
 	}
+	// The store owns the shared merge pool, so it (not the engines, which
+	// only register pools they own) exposes the pool's queue counters.
+	s.unregister = obs.Register("sched", func() any { return s.sched.Stats() },
+		obs.Label{Key: "store", Value: opts.Dir})
 	s.unlock = unlock
 	ok = true
 	return s, nil
@@ -977,6 +987,7 @@ func (s *Store) Stats() core.Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var st core.Stats
+	st.Hist = &core.OpHists{}
 	for _, e := range s.engines {
 		es := e.Stats()
 		st.Puts += es.Puts
@@ -994,12 +1005,21 @@ func (s *Store) Stats() core.Stats {
 		}
 		st.StallNanos += es.StallNanos
 		st.PaceNanos += es.PaceNanos
+		st.PaceSleeps += es.PaceSleeps
 		st.Preemptions += es.Preemptions
 		st.FlushBytes += es.FlushBytes
 		st.MergeBytes += es.MergeBytes
 		st.MergeNanos += es.MergeNanos
 		st.PageReads += es.PageReads
 		st.CacheHits += es.CacheHits
+		st.SeqReads += es.SeqReads
+		// All shards share one tracer (Options.Trace is copied to every
+		// engine), so each reports the same drop counter: take the max,
+		// not the sum, or N shards would multiply every drop by N.
+		if es.TraceDropped > st.TraceDropped {
+			st.TraceDropped = es.TraceDropped
+		}
+		st.Hist.Merge(es.Hist)
 	}
 	return st
 }
@@ -1061,6 +1081,10 @@ func (s *Store) FlushAll() error {
 // Close joins background merges and releases file handles on every shard.
 // Unflushed L0 data is recovered by block replay above CheckpointHeight.
 func (s *Store) Close() error {
+	if s.unregister != nil {
+		s.unregister()
+		s.unregister = nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var first error
