@@ -40,6 +40,7 @@
 package cole
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -49,6 +50,7 @@ import (
 	"cole/internal/run"
 	"cole/internal/shard"
 	"cole/internal/types"
+	"cole/internal/vfs"
 )
 
 // Address identifies a ledger state (fixed 20 bytes).
@@ -114,6 +116,38 @@ func MetricsMux() *http.ServeMux { return obs.Mux() }
 // serving MetricsMux. It returns the bound address (useful with a :0
 // port), a shutdown function, and any listen error.
 func ServeMetrics(addr string) (string, func() error, error) { return obs.Serve(addr) }
+
+// ErrCorrupt is the typed error every read and scrub path reports when
+// a store file's bytes fail an integrity invariant (checksum mismatch,
+// Merkle hash mismatch, broken key ordering, learned-index miss,
+// truncation): it pins the damage to a store, shard, level, file, and
+// page instead of returning garbage or panicking. Match it with
+// errors.As or AsCorrupt; Stats.CorruptReads counts reads that hit one.
+// A store that surfaces ErrCorrupt needs an offline VerifyStore
+// (`coledb fsck`) and restore/re-sync of the damaged files.
+type ErrCorrupt = types.ErrCorrupt
+
+// AsCorrupt extracts the typed corruption attribution from err (or any
+// error it wraps); ok is false when err carries none.
+func AsCorrupt(err error) (ec *ErrCorrupt, ok bool) {
+	ok = errors.As(err, &ec)
+	return ec, ok
+}
+
+// Finding is one integrity defect VerifyStore pinned to a file.
+type Finding = run.Finding
+
+// VerifyStore scrubs a closed store directory — sharded or not — and
+// reports every integrity defect: layout and manifest files, and every
+// run's metadata checksum, file geometry, and stored Merkle root. A full
+// scrub (fast=false) additionally re-walks every entry, recomputes every
+// Merkle node, and proves learned-index coverage for every key. The
+// store must not be open. notes carries non-fatal observations (orphan
+// files a reopen sweeps); err is operational only — corruption is
+// reported through findings, never err.
+func VerifyStore(dir string, fast bool) (findings []Finding, notes []string, err error) {
+	return shard.VerifyStore(nil, dir, fast)
+}
 
 // ReadResult is one point-lookup outcome of a batched read: the value,
 // the height it was written at, and whether the address exists.
@@ -216,11 +250,18 @@ func Open(opts Options) (*Store, error) {
 	if opts.Shards > 1 {
 		return nil, fmt.Errorf("cole: Options.Shards = %d; use OpenSharded for a multi-shard store", opts.Shards)
 	}
-	unlock, err := shard.LockDir(opts.Dir)
-	if err != nil {
-		return nil, err
+	// The advisory flock guards against concurrent processes; an injected
+	// filesystem (Options.FS) is process-local, so there is nothing for
+	// the kernel lock to arbitrate.
+	unlock := func() {}
+	if vfs.IsOS(vfs.OrOS(opts.FS)) {
+		var err error
+		unlock, err = shard.LockDir(opts.Dir)
+		if err != nil {
+			return nil, err
+		}
 	}
-	if err := shard.GuardSingleEngine(opts.Dir); err != nil {
+	if err := shard.GuardSingleEngineFS(opts.FS, opts.Dir); err != nil {
 		unlock()
 		return nil, fmt.Errorf("%w; use OpenSharded", err)
 	}

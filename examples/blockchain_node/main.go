@@ -67,7 +67,7 @@ func main() {
 	// which blocks to replay.
 	checkpoint := backend.Engine.CheckpointHeight()
 	finalRoot := headers[len(headers)-1].Hstate
-	backend.Close()
+	_ = backend.Close()
 	fmt.Printf("\nsimulated crash at height %d; durable checkpoint is %d\n", blocks, checkpoint)
 
 	recovered, err := chain.OpenCole(opts)

@@ -346,7 +346,7 @@ func openSystem(sys System, dir string, cfg Config) (*backendHandle, error) {
 					}
 					return b.Store.Stats().MergeWaits, puts
 				},
-				close: func() { b.Close() },
+				close: func() { _ = b.Close() },
 			}, nil
 		}
 		b, err := chain.OpenCole(o)
@@ -365,7 +365,7 @@ func openSystem(sys System, dir string, cfg Config) (*backendHandle, error) {
 			stats: func() (int64, []int64) {
 				return b.Engine.Stats().MergeWaits, nil
 			},
-			close: func() { b.Close() },
+			close: func() { _ = b.Close() },
 		}, nil
 	case SysMPT:
 		b, err := chain.OpenMPT(kvstore.Options{Dir: dir, MemBytes: cfg.MemBytes, SizeRatio: cfg.SizeRatio})
@@ -379,7 +379,7 @@ func openSystem(sys System, dir string, cfg Config) (*backendHandle, error) {
 				total := b.DB.SizeOnDisk()
 				return total, 0, total, 0
 			},
-			close: func() { b.Close() },
+			close: func() { _ = b.Close() },
 		}, nil
 	case SysLIPP:
 		b, err := chain.OpenLIPP(kvstore.Options{Dir: dir, MemBytes: cfg.MemBytes, SizeRatio: cfg.SizeRatio})
@@ -393,7 +393,7 @@ func openSystem(sys System, dir string, cfg Config) (*backendHandle, error) {
 				total := b.DB.SizeOnDisk()
 				return total, 0, total, 0
 			},
-			close: func() { b.Close() },
+			close: func() { _ = b.Close() },
 		}, nil
 	case SysCMI:
 		b, err := chain.OpenCMI(kvstore.Options{Dir: dir, MemBytes: cfg.MemBytes, SizeRatio: cfg.SizeRatio})
@@ -407,7 +407,7 @@ func openSystem(sys System, dir string, cfg Config) (*backendHandle, error) {
 				total := b.DB.SizeOnDisk()
 				return total, 0, total, 0
 			},
-			close: func() { b.Close() },
+			close: func() { _ = b.Close() },
 		}, nil
 	}
 	return nil, fmt.Errorf("bench: unknown system %q", sys)

@@ -201,7 +201,7 @@ func isolatedMergeRun(mode string, cfg Config, scratch string) (Result, error) {
 	defer func() {
 		for _, r := range runs {
 			if r != nil {
-				r.Close()
+				_ = r.Close()
 			}
 		}
 	}()
@@ -270,7 +270,7 @@ func isolatedPartitionSweep(cfg Config, scratch string) ([]Result, error) {
 	defer func() {
 		for _, r := range runs {
 			if r != nil {
-				r.Close()
+				_ = r.Close()
 			}
 		}
 	}()

@@ -100,11 +100,11 @@ func reshardOnce(cfg Config, target int, scratch string) (Result, []string, erro
 	}
 	tpsBefore, err := drive(b, 0, load)
 	if err != nil {
-		b.Close()
+		_ = b.Close()
 		return Result{}, nil, err
 	}
 	if err := b.Store.FlushAll(); err != nil {
-		b.Close()
+		_ = b.Close()
 		return Result{}, nil, err
 	}
 	height := b.Store.Height()
@@ -128,7 +128,7 @@ func reshardOnce(cfg Config, target int, scratch string) (Result, []string, erro
 	}
 	tpsAfter, err := drive(b2, height, nil)
 	if err != nil {
-		b2.Close()
+		_ = b2.Close()
 		return Result{}, nil, err
 	}
 	if err := b2.Close(); err != nil {

@@ -117,7 +117,7 @@ func stallIdentity(cfg Config, sys System, target int64, scratch string) error {
 	var runs []cellRun
 	defer func() {
 		for _, cr := range runs {
-			cr.db.Close()
+			_ = cr.db.Close()
 			cleanup(cr.dir)
 		}
 	}()
@@ -313,7 +313,7 @@ func StallBench(cfg Config, scratch string) (*Table, error) {
 			}
 			r, err := runOpenLoop(db, spec)
 			if err != nil {
-				db.Close()
+				_ = db.Close()
 				cleanup(dir)
 				return nil, fmt.Errorf("%s/%s/%s: %w", sys, cell.pacing(), cell.mergeMode(), err)
 			}
@@ -325,13 +325,13 @@ func StallBench(cfg Config, scratch string) (*Table, error) {
 				// check only runs on loss-free cells.
 				st := db.Stats()
 				if got := cfg.Trace.CountType(obs.EvMergePreempt) - preemptBase; got != st.Preemptions {
-					db.Close()
+					_ = db.Close()
 					cleanup(dir)
 					return nil, fmt.Errorf("%s/%s/%s: %d preempt trace events, %d Stats.Preemptions",
 						sys, cell.pacing(), cell.mergeMode(), got, st.Preemptions)
 				}
 				if got := cfg.Trace.CountType(obs.EvPace) - paceBase; got != st.PaceSleeps {
-					db.Close()
+					_ = db.Close()
 					cleanup(dir)
 					return nil, fmt.Errorf("%s/%s/%s: %d pace trace events, %d Stats.PaceSleeps",
 						sys, cell.pacing(), cell.mergeMode(), got, st.PaceSleeps)
@@ -361,7 +361,7 @@ func StallBench(cfg Config, scratch string) (*Table, error) {
 			if secs := r.elapsed.Seconds(); secs > 0 {
 				res.TPS = float64(r.writeOps) / secs
 			}
-			db.Close()
+			_ = db.Close()
 			cleanup(dir)
 			t.Results = append(t.Results, res)
 			t.Rows = append(t.Rows, []string{

@@ -316,7 +316,7 @@ func Workloads(cfg Config, specs []workload.Spec, shards []int, scratchDir strin
 						fmt.Sprintf("%.2f", r.amp.Space),
 					})
 				}
-				db.Close()
+				_ = db.Close()
 				cleanup(dir)
 				if err != nil {
 					return nil, fmt.Errorf("%s/%s/%d shards: %w", spec.Label(), sys, n, err)

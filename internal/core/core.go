@@ -43,6 +43,7 @@ package core
 import (
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -61,6 +62,7 @@ import (
 	"cole/internal/pagefile"
 	"cole/internal/run"
 	"cole/internal/types"
+	"cole/internal/vfs"
 )
 
 // Options configures an Engine.
@@ -191,6 +193,16 @@ type Options struct {
 	// it when opening per-shard engines; a standalone engine leaves it 0.
 	// It has no effect on storage or digests.
 	ShardIndex int
+	// VerifyReads makes every point lookup check the returned entry
+	// against its stored Merkle leaf hash before serving it: silent
+	// value-page damage surfaces as an ErrCorrupt (counted in
+	// Stats.CorruptReads) instead of a wrong value. Costs one extra hash
+	// read and one SHA-256 per run hit; off by default.
+	VerifyReads bool
+	// FS is the filesystem every engine file lives on. nil (the default)
+	// selects the real filesystem; tests inject fault-carrying
+	// implementations (internal/vfs) to exercise crash consistency.
+	FS vfs.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -218,6 +230,7 @@ func (o Options) withDefaults() Options {
 	if o.RootHistory == 0 {
 		o.RootHistory = 512
 	}
+	o.FS = vfs.OrOS(o.FS)
 	return o
 }
 
@@ -247,6 +260,8 @@ func (o Options) runParams() run.Params {
 		WriteBufferPages: o.WriteBufferPages,
 		OptimalPLA:       o.OptimalPLA,
 		LegacyCompaction: o.LegacyCompaction,
+		VerifyReads:      o.VerifyReads,
+		FS:               o.FS,
 	}
 }
 
@@ -366,6 +381,9 @@ type Engine struct {
 	paceNanos   atomic.Int64
 	paceSleeps  atomic.Int64
 	preemptions atomic.Int64
+	// corruptReads counts typed corruption errors surfaced by the read
+	// path (see Options.VerifyReads and types.ErrCorrupt).
+	corruptReads atomic.Int64
 
 	// tr is the opt-in lifecycle tracer (Options.Trace) and shardID the
 	// shard tag its events carry. Both are set once at Open and never
@@ -517,6 +535,11 @@ type Stats struct {
 	// shares one tracer, so its Stats reports the max across shards, not
 	// the sum.
 	TraceDropped int64
+	// CorruptReads counts point/provenance lookups that failed with a
+	// typed corruption error (types.ErrCorrupt) instead of returning
+	// data: a nonzero value means a run file served by this store failed
+	// an integrity check and the store needs an fsck.
+	CorruptReads int64
 	// Hist is a snapshot of the always-on operation latency histograms.
 	// Excluded from JSON (reports carry percentile summaries instead)
 	// and inlined by the metrics walker (cole_commit_latency_seconds,
@@ -539,7 +562,7 @@ func OpenWithScheduler(opts Options, sched *merge.Scheduler) (*Engine, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
 	ownPool := sched == nil
@@ -648,7 +671,7 @@ type levelState struct {
 func (e *Engine) manifestPath() string { return filepath.Join(e.opts.Dir, "MANIFEST") }
 
 func (e *Engine) loadManifest() error {
-	raw, err := os.ReadFile(e.manifestPath())
+	raw, err := e.opts.FS.ReadFile(e.manifestPath())
 	if os.IsNotExist(err) {
 		return nil // fresh store
 	}
@@ -691,7 +714,7 @@ func (e *Engine) loadManifest() error {
 			for _, id := range ls.Groups[g] {
 				r, err := run.Open(e.opts.Dir, id, e.opts.runParams())
 				if err != nil {
-					return fmt.Errorf("core: open run %d of level %d: %w", id, li+1, err)
+					return fmt.Errorf("core: open run %d of level %d: %w", id, li+1, e.decorateCorrupt(err, li+1))
 				}
 				lv.groups[g] = append(lv.groups[g], newRunRef(r))
 			}
@@ -731,14 +754,45 @@ func (e *Engine) marshalManifestLocked() ([]byte, error) {
 	return json.MarshalIndent(m, "", "  ")
 }
 
-// writeManifestBytes persists marshaled manifest bytes atomically
-// (temp + rename). Touches no engine state, so it is safe off-lock.
+// writeManifestBytes persists marshaled manifest bytes atomically and
+// durably (temp fsync + rename + parent directory fsync — the manifest
+// is the store's commit point). Touches no engine state, so it is safe
+// off-lock.
 func (e *Engine) writeManifestBytes(raw []byte) error {
-	tmp := e.manifestPath() + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	return vfs.WriteFileAtomic(e.opts.FS, e.manifestPath(), raw, 0o644)
+}
+
+// decorateCorrupt stamps the engine's identity onto a typed corruption
+// error bubbling out of the run layer: the store directory always, and
+// the LSM level when the caller knows it (level ≥ 1; 0 leaves it
+// unattributed). Non-corruption errors pass through untouched.
+func (e *Engine) decorateCorrupt(err error, level int) error {
+	var ec *types.ErrCorrupt
+	if !errors.As(err, &ec) {
 		return err
 	}
-	return os.Rename(tmp, e.manifestPath())
+	if ec.Store == "" {
+		ec.Store = e.opts.Dir
+	}
+	if ec.Level < 0 && level > 0 {
+		ec.Level = level
+	}
+	return err
+}
+
+// noteCorrupt is decorateCorrupt for the lock-free read path: it also
+// counts the event in Stats.CorruptReads (atomically — readers never
+// take mu).
+func (e *Engine) noteCorrupt(err error) error {
+	var ec *types.ErrCorrupt
+	if !errors.As(err, &ec) {
+		return err
+	}
+	e.corruptReads.Add(1)
+	if ec.Store == "" {
+		ec.Store = e.opts.Dir
+	}
+	return err
 }
 
 func (e *Engine) writeManifest() error {
@@ -841,7 +895,7 @@ func (e *Engine) cleanOrphans() error {
 			}
 		}
 	}
-	entries, err := os.ReadDir(e.opts.Dir)
+	entries, err := e.opts.FS.ReadDir(e.opts.Dir)
 	if err != nil {
 		return err
 	}
@@ -851,7 +905,7 @@ func (e *Engine) cleanOrphans() error {
 			continue
 		}
 		if !referenced[name] {
-			if err := os.Remove(filepath.Join(e.opts.Dir, name)); err != nil {
+			if err := e.opts.FS.Remove(filepath.Join(e.opts.Dir, name)); err != nil {
 				return err
 			}
 		}
@@ -947,6 +1001,7 @@ func (e *Engine) Stats() Stats {
 	st.PaceNanos = e.paceNanos.Load()
 	st.PaceSleeps = e.paceSleeps.Load()
 	st.Preemptions = e.preemptions.Load()
+	st.CorruptReads = e.corruptReads.Load()
 	st.TraceDropped = e.tr.Dropped()
 	st.Hist = e.hists.Snapshot()
 	return st
@@ -1033,7 +1088,7 @@ func (e *Engine) closeRuns() {
 	for _, lv := range e.levels {
 		for g := 0; g < 2; g++ {
 			for _, rr := range lv.groups[g] {
-				rr.r.Close()
+				_ = rr.r.Close()
 			}
 		}
 	}
@@ -1068,11 +1123,11 @@ func (e *Engine) Close() error {
 	// Discard uncommitted merge outputs; their files become orphans that
 	// the next Open cleans up.
 	if e.memMerge != nil && e.memMerge.newRun != nil {
-		e.memMerge.newRun.Close()
+		_ = e.memMerge.newRun.Close()
 	}
 	for _, lv := range e.levels {
 		if lv.merge != nil && lv.merge.newRun != nil {
-			lv.merge.newRun.Close()
+			_ = lv.merge.newRun.Close()
 		}
 	}
 	e.closeRuns()

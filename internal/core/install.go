@@ -2,12 +2,14 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	iofs "io/fs"
 	"path/filepath"
 
 	"cole/internal/run"
 	"cole/internal/types"
+	"cole/internal/vfs"
 )
 
 // This file is the engine's offline install surface: reading the durable
@@ -48,8 +50,13 @@ type StoreState struct {
 // engine. A directory with no manifest (a fresh or never-cascaded engine)
 // yields a zero state with no runs, which is a valid empty source.
 func ReadStoreState(dir string) (*StoreState, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
-	if os.IsNotExist(err) {
+	return ReadStoreStateFS(vfs.OS{}, dir)
+}
+
+// ReadStoreStateFS is ReadStoreState on an explicit filesystem.
+func ReadStoreStateFS(fsys vfs.FS, dir string) (*StoreState, error) {
+	raw, err := vfs.OrOS(fsys).ReadFile(filepath.Join(dir, "MANIFEST"))
+	if errors.Is(err, iofs.ErrNotExist) {
 		return &StoreState{}, nil
 	}
 	if err != nil {
@@ -134,10 +141,10 @@ func InstallBulkFrom(opts Options, height uint64, count int64, build BuildFunc) 
 	if count < 0 {
 		return fmt.Errorf("core: negative entry count %d", count)
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return err
 	}
-	if _, err := os.Stat(filepath.Join(opts.Dir, "MANIFEST")); err == nil {
+	if _, err := opts.FS.Stat(filepath.Join(opts.Dir, "MANIFEST")); err == nil {
 		return fmt.Errorf("core: %s already holds an engine", opts.Dir)
 	}
 	m := manifest{
@@ -155,7 +162,7 @@ func InstallBulkFrom(opts Options, height uint64, count int64, build BuildFunc) 
 			return fmt.Errorf("core: bulk run build: %w", err)
 		}
 		if r.Count() != count {
-			r.Close()
+			_ = r.Close()
 			return fmt.Errorf("core: bulk run holds %d entries, expected %d", r.Count(), count)
 		}
 		if err := r.Close(); err != nil {
@@ -175,12 +182,9 @@ func InstallBulkFrom(opts Options, height uint64, count int64, build BuildFunc) 
 	if err != nil {
 		return err
 	}
-	path := filepath.Join(opts.Dir, "MANIFEST")
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	// Durable replace: a bulk install's manifest is its commit point
+	// (reshard renames the whole tree into place right after this).
+	return vfs.WriteFileAtomic(opts.FS, filepath.Join(opts.Dir, "MANIFEST"), raw, 0o644)
 }
 
 // Entries streams every live entry of the pinned view — the frozen L0

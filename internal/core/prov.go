@@ -150,7 +150,7 @@ func (e *Engine) provInView(v *view, addr types.Address, blkLo, blkHi uint64) ([
 		}
 		res, err := r.ProvSearch(addr, blkLo, blkHi)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, e.noteCorrupt(err)
 		}
 		if res.BloomMiss {
 			proof.Runs = append(proof.Runs, RunPart{

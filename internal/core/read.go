@@ -124,7 +124,7 @@ func (e *Engine) lookupInView(v *view, addr types.Address, blk uint64) (versionH
 		}
 		ent, _, ok, err := rr.r.SearchAt(addr, blk)
 		if err != nil {
-			return versionHit{}, false, err
+			return versionHit{}, false, e.noteCorrupt(err)
 		}
 		if ok {
 			return versionHit{Value: ent.Value, Blk: ent.Key.Blk}, true, nil

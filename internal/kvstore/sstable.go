@@ -154,15 +154,15 @@ func writeTable(dir string, id uint64, recs []record, fp float64) (*sstable, err
 		}
 		binary.BigEndian.PutUint32(hdr[5:9], uint32(len(r.value)))
 		if _, err := w.Write(hdr[:]); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		if _, err := w.Write(r.key); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		if _, err := w.Write(r.value); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		dataLen += int64(9 + len(r.key) + len(r.value))
@@ -170,11 +170,11 @@ func writeTable(dir string, id uint64, recs []record, fp float64) (*sstable, err
 	}
 	bloomRaw := filter.marshal()
 	if _, err := w.Write(idxBuf.Bytes()); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if _, err := w.Write(bloomRaw); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	var footer [40]byte
@@ -184,15 +184,15 @@ func writeTable(dir string, id uint64, recs []record, fp float64) (*sstable, err
 	binary.BigEndian.PutUint64(footer[24:32], uint64(len(recs)))
 	binary.BigEndian.PutUint64(footer[32:40], tableMagic)
 	if _, err := w.Write(footer[:]); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if err := f.Close(); err != nil {
@@ -214,20 +214,20 @@ func openTable(dir string, id uint64) (*sstable, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if st.Size() < 40 {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("kvstore: table %s truncated", path)
 	}
 	var footer [40]byte
 	if _, err := f.ReadAt(footer[:], st.Size()-40); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if binary.BigEndian.Uint64(footer[32:40]) != tableMagic {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("kvstore: table %s bad magic", path)
 	}
 	dataLen := int64(binary.BigEndian.Uint64(footer[0:8]))
@@ -235,34 +235,34 @@ func openTable(dir string, id uint64) (*sstable, error) {
 	bloomLen := int64(binary.BigEndian.Uint64(footer[16:24]))
 	count := int64(binary.BigEndian.Uint64(footer[24:32]))
 	if dataLen+idxLen+bloomLen+40 != st.Size() {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("kvstore: table %s sections do not sum to file size", path)
 	}
 	idxRaw := make([]byte, idxLen)
 	if _, err := f.ReadAt(idxRaw, dataLen); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	bloomRaw := make([]byte, bloomLen)
 	if _, err := f.ReadAt(bloomRaw, dataLen+idxLen); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	filter, err := unmarshalTableBloom(bloomRaw)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	t := &sstable{id: id, path: path, f: f, size: st.Size(), count: count, dataLn: dataLen, filter: filter}
 	for off := 0; off < len(idxRaw); {
 		if off+4 > len(idxRaw) {
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("kvstore: table %s index corrupt", path)
 		}
 		klen := int(binary.BigEndian.Uint32(idxRaw[off:]))
 		off += 4
 		if off+klen+8 > len(idxRaw) {
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("kvstore: table %s index corrupt", path)
 		}
 		key := append([]byte(nil), idxRaw[off:off+klen]...)
@@ -358,9 +358,9 @@ func (it *tableIterator) next() (record, bool) {
 	return rec, true
 }
 
-func (t *sstable) close() { t.f.Close() }
+func (t *sstable) close() { _ = t.f.Close() }
 
 func (t *sstable) remove() {
-	t.f.Close()
-	os.Remove(t.path)
+	_ = t.f.Close()
+	_ = os.Remove(t.path)
 }

@@ -1,0 +1,72 @@
+// Package lint holds repo-wide static checks that gate CI. They live in
+// a test so `go test ./...` enforces them with no extra tooling.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	iofs "io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoDroppedCloseOrSyncErrors walks every non-test source file and
+// flags a bare `x.Close()` or `x.Sync()` statement: both return the
+// write-back errors a durable store must not drop. A deliberate discard
+// on an error path is spelled `_ = x.Close()` (and a deferred cleanup
+// `defer x.Close()` stays idiomatic) — the point is that dropping the
+// error is visible in the code, never an accident.
+func TestNoDroppedCloseOrSyncErrors(t *testing.T) {
+	root := filepath.Join("..", "..")
+	fset := token.NewFileSet()
+	var bad []string
+	err := filepath.WalkDir(root, func(path string, d iofs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", ".github", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, 0)
+		if perr != nil {
+			return perr
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if name := sel.Sel.Name; name == "Close" || name == "Sync" {
+				pos := fset.Position(es.Pos())
+				rel, _ := filepath.Rel(root, pos.Filename)
+				bad = append(bad, fmt.Sprintf("%s:%d: %s() error dropped silently (use `_ = ...` to discard deliberately)", rel, pos.Line, name))
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bad {
+		t.Error(b)
+	}
+}

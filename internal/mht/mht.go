@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"cole/internal/types"
+	"cole/internal/vfs"
 )
 
 // LayerCounts returns the node count of every MHT layer, bottom first:
@@ -65,7 +66,8 @@ const DefaultWriteBufferBytes = 1 << 20
 // multi-node writes instead of one tiny WriteAt per completed group; the
 // file bytes are identical for every buffer size.
 type Writer struct {
-	f       *os.File
+	fs      vfs.FS
+	f       vfs.File
 	path    string
 	m       int
 	counts  []int64
@@ -95,6 +97,11 @@ func CreateWriter(path string, n int64, m int) (*Writer, error) {
 // small values restore the per-group write granularity). The on-disk
 // bytes and root are identical for every buffer size.
 func CreateWriterSize(path string, n int64, m int, bufBytes int) (*Writer, error) {
+	return CreateWriterSizeFS(vfs.OS{}, path, n, m, bufBytes)
+}
+
+// CreateWriterSizeFS is CreateWriterSize on an explicit filesystem.
+func CreateWriterSizeFS(fsys vfs.FS, path string, n int64, m int, bufBytes int) (*Writer, error) {
 	if m < 2 {
 		return nil, fmt.Errorf("mht: fanout %d < 2", m)
 	}
@@ -108,12 +115,13 @@ func CreateWriterSize(path string, n int64, m int, bufBytes int) (*Writer, error
 	if bufHashes < 1 {
 		bufHashes = 1
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	counts := LayerCounts(n, m)
 	w := &Writer{
+		fs:        fsys,
 		f:         f,
 		path:      path,
 		m:         m,
@@ -126,7 +134,7 @@ func CreateWriterSize(path string, n int64, m int, bufBytes int) (*Writer, error
 		n:         n,
 	}
 	if err := f.Truncate(TotalNodes(counts) * types.HashSize); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	return w, nil
@@ -205,7 +213,7 @@ func (w *Writer) Finish() (types.Hash, error) {
 		return w.root, nil
 	}
 	if w.added != w.n {
-		w.f.Close()
+		_ = w.f.Close()
 		return types.Hash{}, fmt.Errorf("mht: %d leaves added, expected %d", w.added, w.n)
 	}
 	d := len(w.counts)
@@ -218,14 +226,14 @@ func (w *Writer) Finish() (types.Hash, error) {
 			w.push(i+1, parent)
 		}
 		if err := w.flushLayer(i, len(w.bufs[i])); err != nil {
-			w.f.Close()
+			_ = w.f.Close()
 			return types.Hash{}, err
 		}
 	}
 	// Sanity: every layer fully flushed.
 	for i, c := range w.counts {
 		if w.flushed[i] != c {
-			w.f.Close()
+			_ = w.f.Close()
 			return types.Hash{}, fmt.Errorf("mht: layer %d flushed %d of %d nodes", i, w.flushed[i], c)
 		}
 	}
@@ -234,24 +242,26 @@ func (w *Writer) Finish() (types.Hash, error) {
 	// the leaf itself.)
 	w.done = true
 	if err := w.f.Sync(); err != nil {
-		w.f.Close()
+		_ = w.f.Close()
 		return types.Hash{}, err
 	}
 	return w.root, w.f.Close()
 }
 
-// Abort closes and removes a partially written file.
+// Abort closes and removes a partially written file; errors are
+// deliberately discarded (the caller is already failing and the file is
+// about to be deleted or orphan-swept).
 func (w *Writer) Abort() {
 	if !w.done {
 		w.done = true
-		w.f.Close()
+		_ = w.f.Close()
 	}
-	os.Remove(w.path)
+	_ = w.fs.Remove(w.path)
 }
 
 // File reads a Merkle file produced by Writer.
 type File struct {
-	f       *os.File
+	f       vfs.File
 	path    string
 	m       int
 	n       int64
@@ -265,21 +275,26 @@ type File struct {
 
 // Open opens a Merkle file for n leaves with fanout m.
 func Open(path string, n int64, m int) (*File, error) {
+	return OpenFS(vfs.OS{}, path, n, m)
+}
+
+// OpenFS is Open on an explicit filesystem.
+func OpenFS(fsys vfs.FS, path string, n int64, m int) (*File, error) {
 	if m < 2 || n < 1 {
 		return nil, fmt.Errorf("mht: invalid geometry n=%d m=%d", n, m)
 	}
-	f, err := os.Open(path)
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	counts := LayerCounts(n, m)
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if st.Size() < TotalNodes(counts)*types.HashSize {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("mht: %s has %d bytes, need %d", path, st.Size(), TotalNodes(counts)*types.HashSize)
 	}
 	return &File{f: f, path: path, m: m, n: n, counts: counts, offsets: LayerOffsets(counts)}, nil

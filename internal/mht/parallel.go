@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"cole/internal/types"
+	"cole/internal/vfs"
 )
 
 // This file adds the partitioned counterpart of Writer: a Merkle file
@@ -52,7 +53,8 @@ func spanRanges(counts []int64, m int, lo, hi int64) []nodeRange {
 // touch the same byte; Stitch completes the boundary nodes and returns
 // the root.
 type SharedWriter struct {
-	f         *os.File
+	fs        vfs.FS
+	f         vfs.File
 	path      string
 	m         int
 	n         int64
@@ -67,6 +69,11 @@ type SharedWriter struct {
 // per-layer, per-span write-coalescing budget (0 selects
 // DefaultWriteBufferBytes).
 func CreateShared(path string, n int64, m int, bufBytes int) (*SharedWriter, error) {
+	return CreateSharedFS(vfs.OS{}, path, n, m, bufBytes)
+}
+
+// CreateSharedFS is CreateShared on an explicit filesystem.
+func CreateSharedFS(fsys vfs.FS, path string, n int64, m int, bufBytes int) (*SharedWriter, error) {
 	if m < 2 {
 		return nil, fmt.Errorf("mht: fanout %d < 2", m)
 	}
@@ -80,17 +87,18 @@ func CreateShared(path string, n int64, m int, bufBytes int) (*SharedWriter, err
 	if bufHashes < 1 {
 		bufHashes = 1
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	counts := LayerCounts(n, m)
 	if err := f.Truncate(TotalNodes(counts) * types.HashSize); err != nil {
-		f.Close()
-		os.Remove(path)
+		_ = f.Close()
+		_ = fsys.Remove(path)
 		return nil, err
 	}
 	return &SharedWriter{
+		fs:        fsys,
 		f:         f,
 		path:      path,
 		m:         m,
@@ -279,7 +287,7 @@ func (s *SharedWriter) Stitch(spans [][2]int64) (types.Hash, error) {
 	}
 	s.closed = true
 	if err := s.f.Sync(); err != nil {
-		s.f.Close()
+		_ = s.f.Close()
 		return types.Hash{}, err
 	}
 	return root, s.f.Close()
@@ -309,11 +317,12 @@ func (s *SharedWriter) fillNode(layer int, p int64) error {
 	return nil
 }
 
-// Abort closes and removes a partially written file.
+// Abort closes and removes a partially written file; errors are
+// deliberately discarded (see Writer.Abort).
 func (s *SharedWriter) Abort() {
 	if !s.closed {
 		s.closed = true
-		s.f.Close()
+		_ = s.f.Close()
 	}
-	os.Remove(s.path)
+	_ = s.fs.Remove(s.path)
 }

@@ -23,6 +23,8 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+
+	"cole/internal/vfs"
 )
 
 // DefaultPageSize is the disk page granularity assumed by the paper.
@@ -64,7 +66,8 @@ type IOStats struct {
 // Writer appends fixed-size records to a page-padded file, coalescing
 // several pages into each write syscall.
 type Writer struct {
-	f        *os.File
+	fs       vfs.FS
+	f        vfs.File
 	path     string
 	pageSize int
 	recSize  int
@@ -88,17 +91,23 @@ func CreateWriter(path string, pageSize, recSize int) (*Writer, error) {
 // the one-syscall-per-page behavior). The on-disk bytes are identical
 // for every buffer size.
 func CreateWriterSize(path string, pageSize, recSize, bufPages int) (*Writer, error) {
+	return CreateWriterSizeFS(vfs.OS{}, path, pageSize, recSize, bufPages)
+}
+
+// CreateWriterSizeFS is CreateWriterSize on an explicit filesystem.
+func CreateWriterSizeFS(fsys vfs.FS, path string, pageSize, recSize, bufPages int) (*Writer, error) {
 	if PerPage(pageSize, recSize) < 1 {
 		return nil, fmt.Errorf("pagefile: record size %d does not fit page size %d", recSize, pageSize)
 	}
 	if bufPages < 1 {
 		bufPages = DefaultWriteBufferPages
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	return &Writer{
+		fs:       fsys,
 		f:        f,
 		path:     path,
 		pageSize: pageSize,
@@ -187,33 +196,35 @@ func (w *Writer) Finish() error {
 	}
 	w.closed = true
 	if err := w.sealPage(); err != nil {
-		w.f.Close()
+		_ = w.f.Close()
 		return err
 	}
 	if err := w.flush(); err != nil {
-		w.f.Close()
+		_ = w.f.Close()
 		return err
 	}
 	if err := w.f.Sync(); err != nil {
-		w.f.Close()
+		_ = w.f.Close()
 		return err
 	}
 	return w.f.Close()
 }
 
-// Abort closes and removes a partially written file.
+// Abort closes and removes a partially written file. Errors are
+// deliberately discarded: Abort runs on paths already failing, and the
+// file is about to be deleted (or swept as an orphan on reopen).
 func (w *Writer) Abort() {
 	if !w.closed {
 		w.closed = true
-		w.f.Close()
+		_ = w.f.Close()
 	}
-	os.Remove(w.path)
+	_ = w.fs.Remove(w.path)
 }
 
 // File reads records from a page-padded file through an LRU page cache.
 // It is safe for concurrent readers.
 type File struct {
-	f        *os.File
+	f        vfs.File
 	path     string
 	pageSize int
 	recSize  int
@@ -232,22 +243,27 @@ type File struct {
 // run metadata records it; the file itself is page-padded so its size alone
 // is ambiguous). cachePages bounds the per-file page cache (≥1).
 func Open(path string, pageSize, recSize int, count int64, cachePages int) (*File, error) {
+	return OpenFS(vfs.OS{}, path, pageSize, recSize, count, cachePages)
+}
+
+// OpenFS is Open on an explicit filesystem.
+func OpenFS(fsys vfs.FS, path string, pageSize, recSize int, count int64, cachePages int) (*File, error) {
 	if PerPage(pageSize, recSize) < 1 {
 		return nil, fmt.Errorf("pagefile: record size %d does not fit page size %d", recSize, pageSize)
 	}
-	f, err := os.Open(path)
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	perPage := PerPage(pageSize, recSize)
 	needPages := (count + int64(perPage) - 1) / int64(perPage)
 	if st.Size() < needPages*int64(pageSize) {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("pagefile: %s has %d bytes, need %d for %d records", path, st.Size(), needPages*int64(pageSize), count)
 	}
 	if cachePages < 1 {

@@ -3,6 +3,8 @@ package pagefile
 import (
 	"fmt"
 	"os"
+
+	"cole/internal/vfs"
 )
 
 // SharedWriter is a record file created at its final page-padded size so
@@ -13,7 +15,8 @@ import (
 // touch the same byte, and the finished file is byte-identical to one
 // streamed through a single Writer.
 type SharedWriter struct {
-	f        *os.File
+	fs       vfs.FS
+	f        vfs.File
 	path     string
 	pageSize int
 	recSize  int
@@ -25,6 +28,11 @@ type SharedWriter struct {
 // CreateShared creates (truncating) a record file pre-sized for count
 // records.
 func CreateShared(path string, pageSize, recSize int, count int64) (*SharedWriter, error) {
+	return CreateSharedFS(vfs.OS{}, path, pageSize, recSize, count)
+}
+
+// CreateSharedFS is CreateShared on an explicit filesystem.
+func CreateSharedFS(fsys vfs.FS, path string, pageSize, recSize int, count int64) (*SharedWriter, error) {
 	perPage := PerPage(pageSize, recSize)
 	if perPage < 1 {
 		return nil, fmt.Errorf("pagefile: record size %d does not fit page size %d", recSize, pageSize)
@@ -32,17 +40,17 @@ func CreateShared(path string, pageSize, recSize int, count int64) (*SharedWrite
 	if count < 1 {
 		return nil, fmt.Errorf("pagefile: shared writer needs at least one record")
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	pages := (count + int64(perPage) - 1) / int64(perPage)
 	if err := f.Truncate(pages * int64(pageSize)); err != nil {
-		f.Close()
-		os.Remove(path)
+		_ = f.Close()
+		_ = fsys.Remove(path)
 		return nil, err
 	}
-	return &SharedWriter{f: f, path: path, pageSize: pageSize, recSize: recSize, perPage: perPage, count: count}, nil
+	return &SharedWriter{fs: fsys, f: f, path: path, pageSize: pageSize, recSize: recSize, perPage: perPage, count: count}, nil
 }
 
 // Count returns the total record count the file was sized for.
@@ -209,17 +217,18 @@ func (s *SharedWriter) Finish() error {
 	}
 	s.closed = true
 	if err := s.f.Sync(); err != nil {
-		s.f.Close()
+		_ = s.f.Close()
 		return err
 	}
 	return s.f.Close()
 }
 
-// Abort closes and removes a partially written file.
+// Abort closes and removes a partially written file; errors are
+// deliberately discarded (see Writer.Abort).
 func (s *SharedWriter) Abort() {
 	if !s.closed {
 		s.closed = true
-		s.f.Close()
+		_ = s.f.Close()
 	}
-	os.Remove(s.path)
+	_ = s.fs.Remove(s.path)
 }

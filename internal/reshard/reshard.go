@@ -48,6 +48,7 @@ import (
 	"cole/internal/run"
 	"cole/internal/shard"
 	"cole/internal/types"
+	"cole/internal/vfs"
 )
 
 // Install steps, in execution order, as reported to Options.FailPoint.
@@ -100,8 +101,14 @@ type Options struct {
 	// FailPoint, when set, is invoked before each install step with the
 	// step name; returning an error aborts the reshard at exactly that
 	// point with no cleanup, simulating a crash. Tests use it to verify
-	// torn reshards leave the store consistent. Nil in production.
+	// torn reshards leave the store consistent. Nil in production. For
+	// finer-grained crashes (any syscall, torn writes, dropped fsyncs)
+	// inject a fault-carrying FS instead.
 	FailPoint func(step string) error
+	// FS is the filesystem the rewrite runs on. nil (the default) selects
+	// the real filesystem; tests inject fault-carrying implementations
+	// (internal/vfs) to exercise crash consistency at every syscall.
+	FS vfs.FS
 }
 
 // Report summarizes a completed reshard.
@@ -167,23 +174,28 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 	if shards < 1 || shards > shard.MaxShards {
 		return nil, fmt.Errorf("reshard: target count %d out of range [1,%d]", shards, shard.MaxShards)
 	}
+	fsys := vfs.OrOS(opts.FS)
 	// Take the store's advisory lock for the whole rewrite: a directory a
 	// live process still serves (or a concurrent reshard) fails here
-	// instead of silently committing over its writes.
-	unlock, err := shard.LockDir(dir)
-	if err != nil {
-		return nil, err
+	// instead of silently committing over its writes. An injected
+	// filesystem is process-local, so there is nothing for flock to
+	// arbitrate.
+	if vfs.IsOS(fsys) {
+		unlock, err := shard.LockDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		defer unlock()
 	}
-	defer unlock()
-	n, gen, pinned, err := shard.PersistedLayout(dir)
+	n, gen, pinned, err := shard.PersistedLayoutFS(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
 	if !pinned {
 		// A legacy unsharded store (engine at the root, no SHARDS file) is
 		// a valid 1-shard source; anything else is not a store.
-		if _, serr := os.Stat(filepath.Join(dir, "MANIFEST")); serr != nil {
-			if _, derr := os.Stat(filepath.Join(dir, "shard-00")); derr == nil {
+		if _, serr := fsys.Stat(filepath.Join(dir, "MANIFEST")); serr != nil {
+			if _, derr := fsys.Stat(filepath.Join(dir, "shard-00")); derr == nil {
 				return nil, fmt.Errorf("reshard: %s has shard subdirectories but no SHARDS file; reopen it with the original explicit shard count first", dir)
 			}
 			return nil, fmt.Errorf("reshard: %s does not hold a COLE store", dir)
@@ -195,7 +207,7 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 	srcDirs := make([]string, n)
 	for i := 0; i < n; i++ {
 		srcDirs[i] = shard.EngineDir(dir, gen, n, i)
-		if states[i], err = core.ReadStoreState(srcDirs[i]); err != nil {
+		if states[i], err = core.ReadStoreStateFS(fsys, srcDirs[i]); err != nil {
 			return nil, fmt.Errorf("reshard: source shard %d: %w", i, err)
 		}
 	}
@@ -233,7 +245,7 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 	// A previous torn attempt may have stranded a half-built generation
 	// at the same path; it is garbage by construction (SHARDS never
 	// pointed at it).
-	if err := os.RemoveAll(buildDir); err != nil {
+	if err := fsys.RemoveAll(buildDir); err != nil {
 		return nil, err
 	}
 
@@ -245,7 +257,7 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 	adopt:
 		for i, st := range states {
 			for _, id := range st.RunIDs {
-				ps, err := run.PageSizeOf(srcDirs[i], id)
+				ps, err := run.PageSizeOfFS(fsys, srcDirs[i], id)
 				if err != nil {
 					return nil, fmt.Errorf("reshard: read run %d of source shard %d: %w", id, i, err)
 				}
@@ -258,12 +270,12 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 	// Open every committed source run directly from the manifests — the
 	// engines are never opened, so the source directories are not
 	// mutated (no orphan sweep, no restarted background merges).
-	params := run.Params{PageSize: opts.PageSize, Fanout: base.Fanout, BloomFP: opts.BloomFP, CachePages: opts.CachePages}
+	params := run.Params{PageSize: opts.PageSize, Fanout: base.Fanout, BloomFP: opts.BloomFP, CachePages: opts.CachePages, FS: fsys}
 	srcRuns := make([][]*run.Run, n)
 	defer func() {
 		for _, runs := range srcRuns {
 			for _, r := range runs {
-				r.Close()
+				_ = r.Close()
 			}
 		}
 	}()
@@ -297,7 +309,7 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 		return nil, err
 	}
 	spoolDir := filepath.Join(buildDir, "spool")
-	if err := os.MkdirAll(spoolDir, 0o755); err != nil {
+	if err := fsys.MkdirAll(spoolDir, 0o755); err != nil {
 		return nil, err
 	}
 	workers := opts.workers()
@@ -358,7 +370,7 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 			}
 			j := shard.ShardOf(e.Key.Addr, shards)
 			if writers[j] == nil {
-				w, err := newSpoolWriter(spoolPath(spoolDir, t.src, j, t.part))
+				w, err := newSpoolWriter(fsys, spoolPath(spoolDir, t.src, j, t.part))
 				if err != nil {
 					return err
 				}
@@ -414,6 +426,7 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 		CachePages:  opts.CachePages,
 		AsyncMerge:  base.Async,
 		OptimalPLA:  opts.OptimalPLA,
+		FS:          fsys,
 	}
 	destWidth := 1
 	if workers > shards {
@@ -427,7 +440,7 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 			}
 		}()
 		for i := 0; i < n; i++ {
-			chain, err := openSpoolChain(spoolDir, i, j, counts[i][j])
+			chain, err := openSpoolChain(fsys, spoolDir, i, j, counts[i][j])
 			if err != nil {
 				return err
 			}
@@ -465,7 +478,7 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("reshard: build: %w", err)
 	}
-	if err := os.RemoveAll(spoolDir); err != nil {
+	if err := fsys.RemoveAll(spoolDir); err != nil {
 		return nil, err
 	}
 	// Durability barrier: the engine's normal unsynced-manifest window is
@@ -473,7 +486,7 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 	// deleting the source engines — so the whole new generation must be
 	// on stable storage first, and the SHARDS rename after it, before
 	// anything is removed.
-	if err := syncTree(buildDir); err != nil {
+	if err := syncTree(fsys, buildDir); err != nil {
 		return nil, fmt.Errorf("reshard: sync new generation: %w", err)
 	}
 
@@ -481,7 +494,7 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 	if err := opts.fail(StepCommit); err != nil {
 		return nil, err
 	}
-	if err := shard.InstallManifest(dir, shards, newGen); err != nil {
+	if err := shard.InstallManifestFS(fsys, dir, shards, newGen); err != nil {
 		return nil, fmt.Errorf("reshard: commit: %w", err)
 	}
 
@@ -491,7 +504,7 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 	if err := opts.fail(StepCleanup); err != nil {
 		return nil, err
 	}
-	shard.RemoveGeneration(dir, gen, n)
+	shard.RemoveGenerationFS(fsys, dir, gen, n)
 
 	return &Report{
 		FromShards: n,
@@ -509,19 +522,33 @@ func Reshard(dir string, shards int, opts Options) (*Report, error) {
 // syncTree fsyncs every file and directory under root, deepest first —
 // the write barrier between building a generation and deleting the one
 // it replaces.
-func syncTree(root string) error {
-	return filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
-		if err != nil {
-			return err
+func syncTree(fsys vfs.FS, root string) error {
+	ents, err := fsys.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	for _, de := range ents {
+		p := filepath.Join(root, de.Name())
+		if de.IsDir() {
+			if err := syncTree(fsys, p); err != nil {
+				return err
+			}
+			continue
 		}
-		f, err := os.Open(path)
+		f, err := fsys.Open(p)
 		if err != nil {
 			return err
 		}
 		serr := f.Sync()
-		f.Close()
-		return serr
-	})
+		cerr := f.Close()
+		if serr != nil {
+			return serr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return fsys.SyncDir(root)
 }
 
 func imbalance(counts []int64) float64 {
@@ -595,13 +622,13 @@ func spoolPath(spoolDir string, src, dst, part int) string {
 }
 
 type spoolWriter struct {
-	f   *os.File
+	f   vfs.File
 	w   *bufio.Writer
 	buf [spoolRecSize]byte
 }
 
-func newSpoolWriter(path string) (*spoolWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+func newSpoolWriter(fsys vfs.FS, path string) (*spoolWriter, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -617,33 +644,33 @@ func (s *spoolWriter) add(e types.Entry, leaf types.Hash) error {
 
 func (s *spoolWriter) finish() error {
 	if err := s.w.Flush(); err != nil {
-		s.f.Close()
+		_ = s.f.Close()
 		return err
 	}
 	return s.f.Close()
 }
 
-func (s *spoolWriter) abort() { s.f.Close() }
+func (s *spoolWriter) abort() { _ = s.f.Close() }
 
 // spoolChain is one (source,destination) stream reassembled from its
 // part spools: a positionally addressable run.PlanSource over the
 // fixed-size records spanning the chained files, plus bounded range
 // iterators for the partitioned destination build.
 type spoolChain struct {
-	files []*os.File
+	files []vfs.File
 	cum   []int64 // cum[k] = records before file k; len = len(files)+1
 }
 
 // openSpoolChain opens source src's spool parts for destination dst in
 // part order (parts are key-ordered, so the chain is one sorted stream).
 // Returns nil when the source routed nothing to this destination.
-func openSpoolChain(spoolDir string, src, dst int, partCounts []int64) (*spoolChain, error) {
+func openSpoolChain(fsys vfs.FS, spoolDir string, src, dst int, partCounts []int64) (*spoolChain, error) {
 	c := &spoolChain{cum: []int64{0}}
 	for p, cnt := range partCounts {
 		if cnt == 0 {
 			continue
 		}
-		f, err := os.Open(spoolPath(spoolDir, src, dst, p))
+		f, err := fsys.Open(spoolPath(spoolDir, src, dst, p))
 		if err != nil {
 			c.close()
 			return nil, err
@@ -659,7 +686,7 @@ func openSpoolChain(spoolDir string, src, dst int, partCounts []int64) (*spoolCh
 
 func (c *spoolChain) close() {
 	for _, f := range c.files {
-		f.Close()
+		_ = f.Close()
 	}
 }
 

@@ -2,7 +2,6 @@ package run
 
 import (
 	"fmt"
-	"os"
 	"sync"
 
 	"cole/internal/bloom"
@@ -99,11 +98,11 @@ func BuildPartitioned(dir string, id uint64, count int64, params Params, spans [
 		wbufPages = int(vp)
 	}
 
-	valW, err := pagefile.CreateShared(valuePath(dir, id), params.PageSize, types.EntrySize, count)
+	valW, err := pagefile.CreateSharedFS(params.FS, valuePath(dir, id), params.PageSize, types.EntrySize, count)
 	if err != nil {
 		return nil, err
 	}
-	mrkW, err := mht.CreateShared(merklePath(dir, id), count, params.Fanout, wbufPages*params.PageSize)
+	mrkW, err := mht.CreateSharedFS(params.FS, merklePath(dir, id), count, params.Fanout, wbufPages*params.PageSize)
 	if err != nil {
 		valW.Abort()
 		return nil, err
@@ -111,8 +110,8 @@ func BuildPartitioned(dir string, id uint64, count int64, params Params, spans [
 	abort := func() {
 		valW.Abort()
 		mrkW.Abort()
-		os.Remove(indexPath(dir, id))
-		os.Remove(metaPath(dir, id))
+		_ = params.FS.Remove(indexPath(dir, id))
+		_ = params.FS.Remove(metaPath(dir, id))
 	}
 
 	results := make([]spanResult, len(spans))
@@ -182,7 +181,7 @@ func BuildPartitioned(dir string, id uint64, count int64, params Params, spans [
 		MaxKey: results[len(results)-1].maxKey,
 		PageSz: params.PageSize,
 	}
-	if err := writeMeta(metaPath(dir, id), meta); err != nil {
+	if err := writeMeta(params.FS, metaPath(dir, id), meta); err != nil {
 		abort()
 		return nil, err
 	}
@@ -281,7 +280,7 @@ func buildSpan(valW *pagefile.SharedWriter, mrkW *mht.SharedWriter, count int64,
 // by construction, to the index the sequential builder would emit.
 func buildIndexFromValues(dir string, id uint64, count int64, params Params,
 	wbufPages int, valW *pagefile.SharedWriter) ([]layerMeta, error) {
-	idxW, err := pagefile.CreateWriterSize(indexPath(dir, id), params.PageSize, pla.ModelSize, wbufPages)
+	idxW, err := pagefile.CreateWriterSizeFS(params.FS, indexPath(dir, id), params.PageSize, pla.ModelSize, wbufPages)
 	if err != nil {
 		return nil, err
 	}

@@ -22,7 +22,6 @@ package run
 import (
 	"encoding/binary"
 	"fmt"
-	"os"
 	"path/filepath"
 
 	"cole/internal/bloom"
@@ -30,6 +29,7 @@ import (
 	"cole/internal/pagefile"
 	"cole/internal/pla"
 	"cole/internal/types"
+	"cole/internal/vfs"
 )
 
 // Iterator yields entries in strictly increasing key order.
@@ -101,6 +101,13 @@ type Params struct {
 	// path. An ablation knob for the compaction benchmark; the output
 	// files are byte-identical either way.
 	LegacyCompaction bool
+	// VerifyReads makes every point lookup check the returned entry
+	// against its stored Merkle leaf hash, turning silent value-page
+	// bit rot into a typed ErrCorrupt at the cost of one hash read and
+	// one SHA-256 per hit. Off by default.
+	VerifyReads bool
+	// FS is the filesystem the run's files live on (vfs.OS when nil).
+	FS vfs.FS
 }
 
 // segmentBuilder abstracts the two PLA constructions.
@@ -132,6 +139,7 @@ func (p Params) withDefaults() Params {
 	if p.WriteBufferPages == 0 {
 		p.WriteBufferPages = pagefile.DefaultWriteBufferPages
 	}
+	p.FS = vfs.OrOS(p.FS)
 	return p
 }
 
@@ -198,16 +206,16 @@ func Build(dir string, id uint64, count int64, params Params, src Iterator) (*Ru
 		int64(pagefile.PerPage(params.PageSize, types.EntrySize)); int64(wbufPages) > vp {
 		wbufPages = int(vp)
 	}
-	valW, err := pagefile.CreateWriterSize(valuePath(dir, id), params.PageSize, types.EntrySize, wbufPages)
+	valW, err := pagefile.CreateWriterSizeFS(params.FS, valuePath(dir, id), params.PageSize, types.EntrySize, wbufPages)
 	if err != nil {
 		return nil, err
 	}
-	idxW, err := pagefile.CreateWriterSize(indexPath(dir, id), params.PageSize, pla.ModelSize, wbufPages)
+	idxW, err := pagefile.CreateWriterSizeFS(params.FS, indexPath(dir, id), params.PageSize, pla.ModelSize, wbufPages)
 	if err != nil {
 		valW.Abort()
 		return nil, err
 	}
-	mrkW, err := mht.CreateWriterSize(merklePath(dir, id), count, params.Fanout, wbufPages*params.PageSize)
+	mrkW, err := mht.CreateWriterSizeFS(params.FS, merklePath(dir, id), count, params.Fanout, wbufPages*params.PageSize)
 	if err != nil {
 		valW.Abort()
 		idxW.Abort()
@@ -217,7 +225,7 @@ func Build(dir string, id uint64, count int64, params Params, src Iterator) (*Ru
 		valW.Abort()
 		idxW.Abort()
 		mrkW.Abort()
-		os.Remove(metaPath(dir, id))
+		_ = params.FS.Remove(metaPath(dir, id))
 	}
 
 	filter := bloom.New(int(count), params.BloomFP)
@@ -330,7 +338,7 @@ func Build(dir string, id uint64, count int64, params Params, src Iterator) (*Ru
 		MaxKey: maxKey,
 		PageSz: params.PageSize,
 	}
-	if err := writeMeta(metaPath(dir, id), meta); err != nil {
+	if err := writeMeta(params.FS, metaPath(dir, id), meta); err != nil {
 		abort()
 		return nil, err
 	}
@@ -413,19 +421,25 @@ func (b *indexBuilder) finishLayers() ([]layerMeta, error) {
 // so offline tools (reshard) can adopt the store's real geometry instead
 // of requiring the operator to recall its creation options.
 func PageSizeOf(dir string, id uint64) (int, error) {
-	m, err := readMeta(metaPath(dir, id))
+	return PageSizeOfFS(vfs.OS{}, dir, id)
+}
+
+// PageSizeOfFS is PageSizeOf on an explicit filesystem.
+func PageSizeOfFS(fsys vfs.FS, dir string, id uint64) (int, error) {
+	m, err := readMeta(vfs.OrOS(fsys), metaPath(dir, id))
 	if err != nil {
 		return 0, err
 	}
 	return m.PageSz, nil
 }
 
-// Open maps an existing run.
+// Open maps an existing run. Failures to read or cross-check any of
+// the four files surface as *types.ErrCorrupt pinned to that file.
 func Open(dir string, id uint64, params Params) (*Run, error) {
 	params = params.withDefaults()
-	meta, err := readMeta(metaPath(dir, id))
+	meta, err := readMeta(params.FS, metaPath(dir, id))
 	if err != nil {
-		return nil, err
+		return nil, types.CorruptFrom(metaPath(dir, id), err)
 	}
 	if params.Fanout == 0 {
 		params.Fanout = meta.Fanout
@@ -438,25 +452,25 @@ func Open(dir string, id uint64, params Params) (*Run, error) {
 	}
 	filter, err := bloom.Unmarshal(meta.Bloom)
 	if err != nil {
-		return nil, fmt.Errorf("run %d: %w", id, err)
+		return nil, types.CorruptFrom(metaPath(dir, id), fmt.Errorf("run %d: %w", id, err))
 	}
-	values, err := pagefile.Open(valuePath(dir, id), params.PageSize, types.EntrySize, meta.Count, params.CachePages)
+	values, err := pagefile.OpenFS(params.FS, valuePath(dir, id), params.PageSize, types.EntrySize, meta.Count, params.CachePages)
 	if err != nil {
-		return nil, err
+		return nil, types.CorruptFrom(valuePath(dir, id), err)
 	}
 	totalModels := int64(0)
 	lastLayer := meta.Layers[len(meta.Layers)-1]
 	totalModels = (lastLayer.StartPage)*int64(pagefile.PerPage(params.PageSize, pla.ModelSize)) + lastLayer.Models
-	index, err := pagefile.Open(indexPath(dir, id), params.PageSize, pla.ModelSize, totalModels, params.CachePages)
+	index, err := pagefile.OpenFS(params.FS, indexPath(dir, id), params.PageSize, pla.ModelSize, totalModels, params.CachePages)
 	if err != nil {
-		values.Close()
-		return nil, err
+		_ = values.Close()
+		return nil, types.CorruptFrom(indexPath(dir, id), err)
 	}
-	merkle, err := mht.Open(merklePath(dir, id), meta.Count, meta.Fanout)
+	merkle, err := mht.OpenFS(params.FS, merklePath(dir, id), meta.Count, meta.Fanout)
 	if err != nil {
-		values.Close()
-		index.Close()
-		return nil, err
+		_ = values.Close()
+		_ = index.Close()
+		return nil, types.CorruptFrom(merklePath(dir, id), err)
 	}
 	return &Run{
 		ID:      id,
@@ -644,13 +658,12 @@ func (r *Run) Close() error {
 
 // Remove closes the run and deletes its files (level-merge cleanup).
 func (r *Run) Remove() error {
-	r.Close()
-	var firstErr error
+	firstErr := r.Close()
 	for _, p := range []string{
 		valuePath(r.dir, r.ID), indexPath(r.dir, r.ID),
 		merklePath(r.dir, r.ID), metaPath(r.dir, r.ID),
 	} {
-		if err := os.Remove(p); err != nil && firstErr == nil {
+		if err := r.params.FS.Remove(p); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -661,11 +674,11 @@ func (r *Run) Remove() error {
 // bytes ("data") and index+merkle+meta bytes ("index") for the storage
 // breakdown experiments.
 func (r *Run) SizeOnDisk() (data, index int64) {
-	if st, err := os.Stat(valuePath(r.dir, r.ID)); err == nil {
+	if st, err := r.params.FS.Stat(valuePath(r.dir, r.ID)); err == nil {
 		data = st.Size()
 	}
 	for _, p := range []string{indexPath(r.dir, r.ID), merklePath(r.dir, r.ID), metaPath(r.dir, r.ID)} {
-		if st, err := os.Stat(p); err == nil {
+		if st, err := r.params.FS.Stat(p); err == nil {
 			index += st.Size()
 		}
 	}
@@ -685,7 +698,7 @@ type runMeta struct {
 	MaxKey types.CompoundKey
 }
 
-func writeMeta(path string, m runMeta) error {
+func writeMeta(fsys vfs.FS, path string, m runMeta) error {
 	buf := make([]byte, 0, 128+len(m.Bloom))
 	var scratch [8]byte
 	putU64 := func(v uint64) {
@@ -709,15 +722,15 @@ func writeMeta(path string, m runMeta) error {
 	sum := types.HashData(buf)
 	buf = append(buf, sum[:]...)
 
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	// Durable replace: the metadata is the run's commit point, and its
+	// rename must survive a crash (tmp fsync + parent directory fsync).
+	// This also makes the sibling .val/.idx/.mrk directory entries,
+	// already content-synced by their writers, durable.
+	return vfs.WriteFileAtomic(fsys, path, buf, 0o644)
 }
 
-func readMeta(path string) (runMeta, error) {
-	raw, err := os.ReadFile(path)
+func readMeta(fsys vfs.FS, path string) (runMeta, error) {
+	raw, err := fsys.ReadFile(path)
 	if err != nil {
 		return runMeta{}, err
 	}

@@ -77,7 +77,30 @@ func (r *Run) predecessor(kq types.CompoundKey) (types.Entry, int64, bool, error
 
 	// Bottom layer model → value file position.
 	pred := model.Predict(kq)
-	return r.findEntry(pred, kq)
+	e, pos, ok, err := r.findEntry(pred, kq)
+	if err == nil && ok && r.params.VerifyReads {
+		err = r.verifyEntry(e, pos)
+	}
+	if err != nil {
+		return types.Entry{}, 0, false, err
+	}
+	return e, pos, ok, nil
+}
+
+// verifyEntry checks an entry read from the value file against its
+// stored Merkle leaf hash, catching silent value-page damage before it
+// is served (Params.VerifyReads).
+func (r *Run) verifyEntry(e types.Entry, pos int64) error {
+	leaf, err := r.merkle.NodeHash(0, pos)
+	if err != nil {
+		return types.CorruptFrom(merklePath(r.dir, r.ID), err)
+	}
+	if types.HashEntry(e) != leaf {
+		return types.NewCorrupt(valuePath(r.dir, r.ID),
+			pos/int64(r.values.PerPage()),
+			fmt.Sprintf("entry %d does not match its Merkle leaf", pos))
+	}
+	return nil
 }
 
 // modelsPage reads an index page and returns its raw records plus the
@@ -93,7 +116,8 @@ func (r *Run) modelsPage(layer layerMeta, page int64) ([]byte, int, error) {
 		valid = perPage
 	}
 	if valid < 1 {
-		return nil, 0, fmt.Errorf("run %d: page %d outside layer models", r.ID, page)
+		return nil, 0, types.NewCorrupt(indexPath(r.dir, r.ID), page,
+			fmt.Sprintf("run %d: page %d outside layer models", r.ID, page))
 	}
 	return data, int(valid), nil
 }
@@ -114,7 +138,8 @@ func (r *Run) findModel(layer layerMeta, page int64, kq types.CompoundKey) (pla.
 	}
 	if kq.Less(firstK) {
 		if page == first {
-			return pla.Model{}, fmt.Errorf("run %d: key %v precedes layer start", r.ID, kq)
+			return pla.Model{}, types.NewCorrupt(indexPath(r.dir, r.ID), page,
+				fmt.Sprintf("run %d: key %v precedes layer start", r.ID, kq))
 		}
 		page--
 		data, valid, err = r.modelsPage(layer, page)
@@ -143,7 +168,8 @@ func (r *Run) findModel(layer layerMeta, page int64, kq types.CompoundKey) (pla.
 	}
 	m, _, ok := pla.SearchPage(data, valid, kq)
 	if !ok {
-		return pla.Model{}, fmt.Errorf("run %d: model search missed for %v", r.ID, kq)
+		return pla.Model{}, types.NewCorrupt(indexPath(r.dir, r.ID), page,
+			fmt.Sprintf("run %d: model search missed for %v", r.ID, kq))
 	}
 	return m, nil
 }
@@ -160,7 +186,7 @@ func (r *Run) findEntry(pred int64, kq types.CompoundKey) (types.Entry, int64, b
 	}
 	firstK, err := types.DecodeCompoundKey(data)
 	if err != nil {
-		return types.Entry{}, 0, false, err
+		return types.Entry{}, 0, false, types.CorruptFrom(valuePath(r.dir, r.ID), err)
 	}
 	if kq.Less(firstK) {
 		if page == 0 {
@@ -174,7 +200,7 @@ func (r *Run) findEntry(pred int64, kq types.CompoundKey) (types.Entry, int64, b
 	} else {
 		lastK, err := types.DecodeCompoundKey(data[(n-1)*types.EntrySize:])
 		if err != nil {
-			return types.Entry{}, 0, false, err
+			return types.Entry{}, 0, false, types.CorruptFrom(valuePath(r.dir, r.ID), err)
 		}
 		if lastK.Less(kq) && page < r.values.NumPages()-1 {
 			nData, nN, err := r.values.PageRecords(page + 1)
@@ -183,7 +209,7 @@ func (r *Run) findEntry(pred int64, kq types.CompoundKey) (types.Entry, int64, b
 			}
 			nFirst, err := types.DecodeCompoundKey(nData)
 			if err != nil {
-				return types.Entry{}, 0, false, err
+				return types.Entry{}, 0, false, types.CorruptFrom(valuePath(r.dir, r.ID), err)
 			}
 			if !kq.Less(nFirst) {
 				data, n = nData, nN
@@ -197,7 +223,7 @@ func (r *Run) findEntry(pred int64, kq types.CompoundKey) (types.Entry, int64, b
 	}
 	e, err := types.DecodeEntry(data[idx*types.EntrySize:])
 	if err != nil {
-		return types.Entry{}, 0, false, err
+		return types.Entry{}, 0, false, types.CorruptFrom(valuePath(r.dir, r.ID), err)
 	}
 	lo, _ := r.values.PageBounds(page)
 	return e, lo + int64(idx), true, nil

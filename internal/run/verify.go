@@ -1,0 +1,322 @@
+package run
+
+import (
+	"errors"
+	"fmt"
+
+	"cole/internal/mht"
+	"cole/internal/types"
+)
+
+func asCorrupt(err error) (*types.ErrCorrupt, bool) {
+	var ec *types.ErrCorrupt
+	ok := errors.As(err, &ec)
+	return ec, ok
+}
+
+// Finding is one integrity defect the scrub pinned to a file. Page is
+// the damaged page (value/index files) or node index within its layer
+// (Merkle file), or -1 when the damage is not page-attributable.
+type Finding struct {
+	File   string
+	Page   int64
+	Detail string
+}
+
+func (f Finding) String() string {
+	if f.Page >= 0 {
+		return fmt.Sprintf("%s page %d: %s", f.File, f.Page, f.Detail)
+	}
+	return fmt.Sprintf("%s: %s", f.File, f.Detail)
+}
+
+// maxFindings bounds the per-run report: a shredded file would
+// otherwise yield one finding per page.
+const maxFindings = 64
+
+// Verify scrubs one run's four files and reports every integrity
+// defect it can pin down. A fast scrub checks the metadata checksum,
+// the cross-file geometry (exact sizes), and the stored Merkle root
+// against the metadata. A full scrub additionally walks every entry
+// (strict key ordering, min/max bounds, Bloom membership), rebuilds the
+// whole Merkle tree from the entries comparing every stored node, and
+// descends the learned index for every key to prove coverage.
+//
+// A clean run returns an empty slice. Verify never modifies the run.
+func Verify(dir string, id uint64, params Params, fast bool) []Finding {
+	params = params.withDefaults()
+	// The scrub does its own leaf comparison; double-checking every
+	// probe read would only slow it down.
+	params.VerifyReads = false
+
+	// Open is the geometry probe: metadata checksum + decode, Bloom
+	// unmarshal, and exact size checks on all three data files. Its
+	// errors are already pinned to a file.
+	r, err := Open(dir, id, params)
+	if err != nil {
+		return []Finding{findingFromErr(metaPath(dir, id), err)}
+	}
+	defer func() { _ = r.Close() }()
+
+	var fs []Finding
+	add := func(f Finding) bool {
+		if len(fs) < maxFindings {
+			fs = append(fs, f)
+		}
+		return len(fs) < maxFindings
+	}
+
+	storedRoot, err := r.merkle.Root()
+	if err != nil {
+		add(findingFromErr(merklePath(dir, id), err))
+		return fs
+	}
+	if storedRoot != r.mhtRoot {
+		add(Finding{File: merklePath(dir, id), Page: int64(r.merkle.Layers() - 1),
+			Detail: "stored root does not match metadata root"})
+	}
+	if fast {
+		return fs
+	}
+
+	fs = append(fs, r.verifyEntriesAndMerkle(storedRoot, maxFindings-len(fs))...)
+	if len(fs) >= maxFindings {
+		return fs[:maxFindings]
+	}
+	fs = append(fs, r.verifyIndexCoverage(maxFindings-len(fs))...)
+	if len(fs) > maxFindings {
+		fs = fs[:maxFindings]
+	}
+	return fs
+}
+
+// findingFromErr turns an open/read error into a Finding, preserving
+// the file/page attribution when err is a typed ErrCorrupt.
+func findingFromErr(fallbackFile string, err error) Finding {
+	if ec, ok := asCorrupt(err); ok {
+		return Finding{File: ec.File, Page: ec.Page, Detail: ec.Detail}
+	}
+	return Finding{File: fallbackFile, Page: -1, Detail: err.Error()}
+}
+
+// verifyEntriesAndMerkle walks the value file once — checking ordering,
+// bounds, and Bloom membership — while recomputing the entire Merkle
+// tree from the entries and comparing every node against the stored
+// file. Mismatches are attributed by cross-checking the two roots:
+// when the rebuilt root matches the metadata the entries are authentic
+// and a differing stored node is Merkle-file damage; when the stored
+// tree is internally consistent and its root matches the metadata, the
+// tree is authentic and a differing leaf is value-file damage.
+func (r *Run) verifyEntriesAndMerkle(storedRoot types.Hash, budget int) []Finding {
+	var fs []Finding
+	valPath := valuePath(r.dir, r.ID)
+	mrkPath := merklePath(r.dir, r.ID)
+	perPage := int64(r.values.PerPage())
+
+	type mismatch struct {
+		layer int
+		idx   int64
+	}
+	var mismatches []mismatch
+	leaves := r.merkle.LeafStream(0)
+
+	// Streaming m-ary rebuild mirroring the writer's cascade: a group
+	// of m nodes folds into its parent as soon as it completes, and
+	// Finish folds the short tail groups bottom-up.
+	m := r.params.Fanout
+	layerCount := r.merkle.Layers()
+	pending := make([][]types.Hash, layerCount)
+	next := make([]int64, layerCount)
+	var push func(layer int, h types.Hash)
+	push = func(layer int, h types.Hash) {
+		if layer > 0 { // leaves are compared inline against the stream
+			stored, err := r.merkle.NodeHash(layer, next[layer])
+			if err == nil && stored != h && len(mismatches) < maxFindings {
+				mismatches = append(mismatches, mismatch{layer, next[layer]})
+			}
+		}
+		next[layer]++
+		if layer == layerCount-1 {
+			pending[layer] = append(pending[layer][:0], h)
+			return
+		}
+		pending[layer] = append(pending[layer], h)
+		if len(pending[layer]) == m {
+			parent := types.HashConcat(pending[layer]...)
+			pending[layer] = pending[layer][:0]
+			push(layer+1, parent)
+		}
+	}
+
+	it := r.Iter()
+	var pos int64
+	var prev types.CompoundKey
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		if pos > 0 && e.Key.Cmp(prev) <= 0 {
+			fs = append(fs, Finding{File: valPath, Page: pos / perPage,
+				Detail: fmt.Sprintf("entry %d key not above its predecessor", pos)})
+			if len(fs) >= budget {
+				return fs
+			}
+		}
+		if !r.filter.MayContain(e.Key.Addr) {
+			fs = append(fs, Finding{File: valPath, Page: pos / perPage,
+				Detail: fmt.Sprintf("entry %d address missing from Bloom filter", pos)})
+			if len(fs) >= budget {
+				return fs
+			}
+		}
+		leaf := types.HashEntry(e)
+		if stored, err := leaves.At(pos); err != nil {
+			fs = append(fs, findingFromErr(mrkPath, err))
+			return fs
+		} else if stored != leaf && len(mismatches) < maxFindings {
+			mismatches = append(mismatches, mismatch{0, pos})
+		}
+		push(0, leaf)
+		prev = e.Key
+		pos++
+	}
+	if err := it.Err(); err != nil {
+		fs = append(fs, findingFromErr(valPath, err))
+		return fs
+	}
+	if pos != r.count {
+		fs = append(fs, Finding{File: valPath, Page: -1,
+			Detail: fmt.Sprintf("walked %d entries, metadata says %d", pos, r.count)})
+		return fs
+	}
+	if pos > 0 {
+		first, _ := r.EntryAt(0)
+		if first.Key != r.minKey {
+			fs = append(fs, Finding{File: valPath, Page: 0, Detail: "first key does not match metadata min key"})
+		}
+		if prev != r.maxKey {
+			fs = append(fs, Finding{File: valPath, Page: (pos - 1) / perPage,
+				Detail: "last key does not match metadata max key"})
+		}
+	}
+	// Fold the tail groups bottom-up, exactly as the writer's Finish.
+	for layer := 0; layer < layerCount-1; layer++ {
+		if len(pending[layer]) > 0 {
+			parent := types.HashConcat(pending[layer]...)
+			pending[layer] = pending[layer][:0]
+			push(layer+1, parent)
+		}
+	}
+	rebuiltRoot := pending[layerCount-1][0]
+
+	if len(mismatches) == 0 {
+		if rebuiltRoot != r.mhtRoot {
+			// Every stored node matches what the entries produce, yet the
+			// fold disagrees with the metadata root: geometry damage.
+			fs = append(fs, Finding{File: mrkPath, Page: -1,
+				Detail: "rebuilt root does not match metadata root"})
+		}
+		return fs
+	}
+
+	switch {
+	case rebuiltRoot == r.mhtRoot:
+		// The entries reproduce the committed root, so they are
+		// authentic; the stored tree is what diverged.
+		for _, mm := range mismatches {
+			fs = append(fs, Finding{File: mrkPath, Page: mm.idx,
+				Detail: fmt.Sprintf("layer %d node %d does not match rebuild from entries", mm.layer, mm.idx)})
+			if len(fs) >= budget {
+				break
+			}
+		}
+	case storedRoot == r.mhtRoot && r.storedTreeConsistent():
+		// The stored tree hangs together and carries the committed
+		// root, so it is authentic; the value file is what diverged.
+		for _, mm := range mismatches {
+			if mm.layer != 0 {
+				continue // implied by the damaged leaves below them
+			}
+			fs = append(fs, Finding{File: valPath, Page: mm.idx / perPage,
+				Detail: fmt.Sprintf("entry %d does not match its Merkle leaf", mm.idx)})
+			if len(fs) >= budget {
+				break
+			}
+		}
+	default:
+		// Both sides are damaged (or the damage spans files): report
+		// the divergence without picking a side.
+		for _, mm := range mismatches {
+			fs = append(fs, Finding{File: mrkPath, Page: mm.idx,
+				Detail: fmt.Sprintf("layer %d node %d diverges from entries (value or Merkle file damaged)", mm.layer, mm.idx)})
+			if len(fs) >= budget {
+				break
+			}
+		}
+	}
+	return fs
+}
+
+// storedTreeConsistent reports whether every stored internal node is
+// the hash of its stored children — i.e. the Merkle file is internally
+// coherent regardless of the value file.
+func (r *Run) storedTreeConsistent() bool {
+	counts := mht.LayerCounts(r.count, r.params.Fanout)
+	m := int64(r.params.Fanout)
+	for layer := 1; layer < len(counts); layer++ {
+		for idx := int64(0); idx < counts[layer]; idx++ {
+			lo := idx * m
+			hi := lo + m
+			if hi > counts[layer-1] {
+				hi = counts[layer-1]
+			}
+			children := make([]types.Hash, 0, m)
+			for c := lo; c < hi; c++ {
+				h, err := r.merkle.NodeHash(layer-1, c)
+				if err != nil {
+					return false
+				}
+				children = append(children, h)
+			}
+			parent, err := r.merkle.NodeHash(layer, idx)
+			if err != nil || parent != types.HashConcat(children...) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// verifyIndexCoverage descends the learned index for every entry's own
+// key and demands it resolves to that exact position — a full-coverage
+// proof of the PLA layers (every model, every page boundary) using only
+// the public search path.
+func (r *Run) verifyIndexCoverage(budget int) []Finding {
+	var fs []Finding
+	idxPath := indexPath(r.dir, r.ID)
+	it := r.Iter()
+	var pos int64
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		got, gotPos, found, err := r.predecessor(e.Key)
+		switch {
+		case err != nil:
+			fs = append(fs, findingFromErr(idxPath, err))
+		case !found || gotPos != pos || got != e:
+			fs = append(fs, Finding{File: idxPath, Page: -1,
+				Detail: fmt.Sprintf("index resolves key of entry %d to position %d", pos, gotPos)})
+		}
+		if len(fs) >= budget {
+			return fs
+		}
+		pos++
+	}
+	if err := it.Err(); err != nil && len(fs) == 0 {
+		fs = append(fs, findingFromErr(valuePath(r.dir, r.ID), err))
+	}
+	return fs
+}

@@ -21,9 +21,10 @@ package shard
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
-	"os"
+	iofs "io/fs"
 	"path/filepath"
 	"regexp"
 	"runtime"
@@ -37,6 +38,7 @@ import (
 	"cole/internal/obs"
 	"cole/internal/run"
 	"cole/internal/types"
+	"cole/internal/vfs"
 )
 
 // MaxShards bounds the shard count; beyond this the per-shard memory and
@@ -169,12 +171,20 @@ func Open(opts core.Options) (*Store, error) {
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("shard: Options.Dir is required")
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fsys := vfs.OrOS(opts.FS)
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	unlock, err := LockDir(opts.Dir)
-	if err != nil {
-		return nil, err
+	// The advisory flock guards against concurrent *processes*; an
+	// injected filesystem is process-local, so there is nothing for the
+	// kernel lock to arbitrate (and no real directory to flock).
+	unlock := func() {}
+	if vfs.IsOS(fsys) {
+		var lerr error
+		unlock, lerr = LockDir(opts.Dir)
+		if lerr != nil {
+			return nil, lerr
+		}
 	}
 	ok := false
 	defer func() {
@@ -182,7 +192,7 @@ func Open(opts core.Options) (*Store, error) {
 			unlock()
 		}
 	}()
-	persisted, gen, pinned, err := PersistedLayout(opts.Dir)
+	persisted, gen, pinned, err := PersistedLayoutFS(fsys, opts.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -198,7 +208,7 @@ func Open(opts core.Options) (*Store, error) {
 		// No SHARDS file but an engine manifest in the root: a legacy
 		// unsharded store. Splitting it would silently hide the existing
 		// data under empty shard subdirectories.
-		if _, serr := os.Stat(filepath.Join(opts.Dir, "MANIFEST")); serr == nil {
+		if _, serr := fsys.Stat(filepath.Join(opts.Dir, "MANIFEST")); serr == nil {
 			return nil, fmt.Errorf("shard: %s holds an unsharded store; it cannot be reopened with Shards=%d", opts.Dir, n)
 		}
 	}
@@ -207,7 +217,7 @@ func Open(opts core.Options) (*Store, error) {
 		// (lost in a partial copy, or a crash between shard creation and
 		// the manifest write). Opening a fresh engine in the root would
 		// hide the shard data; an explicit matching Shards count re-pins.
-		if err := guardOrphanedShards(opts.Dir); err != nil {
+		if err := guardOrphanedShards(fsys, opts.Dir); err != nil {
 			return nil, err
 		}
 	}
@@ -215,7 +225,7 @@ func Open(opts core.Options) (*Store, error) {
 		// The SHARDS file authoritatively names the live generation, so
 		// leftovers of interrupted or committed reshards (stale generation
 		// directories, superseded generation-0 engines) are swept here.
-		sweepStaleGenerations(opts.Dir, gen)
+		sweepStaleGenerations(fsys, opts.Dir, gen)
 	}
 	s := &Store{opts: opts, n: n, gen: gen, sched: merge.New(opts.MergeWorkers), active: make([]bool, n)}
 	for i := 0; i < n; i++ {
@@ -229,15 +239,15 @@ func Open(opts core.Options) (*Store, error) {
 		e, err := core.OpenWithScheduler(eo, s.sched)
 		if err != nil {
 			for _, prev := range s.engines {
-				prev.Close()
+				_ = prev.Close()
 			}
-			return nil, fmt.Errorf("shard %d: %w", i, err)
+			return nil, fmt.Errorf("shard %d: %w", i, stampShard(err, i))
 		}
 		s.engines = append(s.engines, e)
 	}
-	if err := writeManifest(opts.Dir, n); err != nil {
+	if err := writeManifest(fsys, opts.Dir, n); err != nil {
 		for _, e := range s.engines {
-			e.Close()
+			_ = e.Close()
 		}
 		return nil, err
 	}
@@ -250,10 +260,22 @@ func Open(opts core.Options) (*Store, error) {
 	return s, nil
 }
 
+// stampShard fills the owning shard index into a typed corruption error
+// bubbling out of one engine of a multi-shard store; other errors pass
+// through untouched. The innermost attribution wins, so an already
+// stamped error is never re-stamped.
+func stampShard(err error, i int) error {
+	var ec *types.ErrCorrupt
+	if errors.As(err, &ec) && ec.Shard < 0 {
+		ec.Shard = i
+	}
+	return err
+}
+
 // guardOrphanedShards rejects a directory that has shard subdirectories
 // but no SHARDS file pinning them.
-func guardOrphanedShards(dir string) error {
-	if _, err := os.Stat(filepath.Join(dir, "shard-00")); err == nil {
+func guardOrphanedShards(fsys vfs.FS, dir string) error {
+	if _, err := fsys.Stat(filepath.Join(dir, "shard-00")); err == nil {
 		return fmt.Errorf("shard: %s has shard subdirectories but no %s file; reopen with the original explicit Shards count to re-pin it", dir, manifestName)
 	}
 	return nil
@@ -265,8 +287,12 @@ func guardOrphanedShards(dir string) error {
 // or it has shard subdirectories with no SHARDS file at all. Callers
 // that open an engine directly in dir (bypassing Open) use this to avoid
 // presenting an empty view of sharded data.
-func GuardSingleEngine(dir string) error {
-	n, gen, ok, err := PersistedLayout(dir)
+func GuardSingleEngine(dir string) error { return GuardSingleEngineFS(vfs.OS{}, dir) }
+
+// GuardSingleEngineFS is GuardSingleEngine on an injected filesystem.
+func GuardSingleEngineFS(fsys vfs.FS, dir string) error {
+	fsys = vfs.OrOS(fsys)
+	n, gen, ok, err := PersistedLayoutFS(fsys, dir)
 	if err != nil {
 		return err
 	}
@@ -277,7 +303,7 @@ func GuardSingleEngine(dir string) error {
 		return fmt.Errorf("shard: %s holds a resharded store (generation %d); open it as a sharded store", dir, gen)
 	}
 	if !ok {
-		return guardOrphanedShards(dir)
+		return guardOrphanedShards(fsys, dir)
 	}
 	return nil
 }
@@ -294,8 +320,13 @@ func PersistedCount(dir string) (count int, ok bool, err error) {
 // in dir's SHARDS file; ok is false when the directory is fresh or holds
 // a legacy unsharded store (no SHARDS file).
 func PersistedLayout(dir string) (count int, gen uint64, ok bool, err error) {
-	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
-	if os.IsNotExist(err) {
+	return PersistedLayoutFS(vfs.OS{}, dir)
+}
+
+// PersistedLayoutFS is PersistedLayout on an injected filesystem.
+func PersistedLayoutFS(fsys vfs.FS, dir string) (count int, gen uint64, ok bool, err error) {
+	raw, err := vfs.OrOS(fsys).ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, iofs.ErrNotExist) {
 		return 0, 0, false, nil
 	}
 	if err != nil {
@@ -319,6 +350,11 @@ func PersistedLayout(dir string) (count int, gen uint64, ok bool, err error) {
 // reshard deletes the old generation right behind it, so the rename
 // must be durable, not just atomic.
 func InstallManifest(dir string, n int, gen uint64) error {
+	return InstallManifestFS(vfs.OS{}, dir, n, gen)
+}
+
+// InstallManifestFS is InstallManifest on an injected filesystem.
+func InstallManifestFS(fsys vfs.FS, dir string, n int, gen uint64) error {
 	if n < 1 || n > MaxShards {
 		return fmt.Errorf("shard: shard count %d out of range [1,%d]", n, MaxShards)
 	}
@@ -326,41 +362,18 @@ func InstallManifest(dir string, n int, gen uint64) error {
 	if err != nil {
 		return err
 	}
-	path := filepath.Join(dir, manifestName)
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(raw); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
-	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	serr := d.Sync()
-	d.Close()
-	return serr
+	// Durable replace: the temp file is synced before the rename and the
+	// directory after it, so the new layout either is fully on disk or
+	// the old SHARDS file survives intact.
+	return vfs.WriteFileAtomic(vfs.OrOS(fsys), filepath.Join(dir, manifestName), raw, 0o644)
 }
 
-func writeManifest(dir string, n int) error {
+func writeManifest(fsys vfs.FS, dir string, n int) error {
 	path := filepath.Join(dir, manifestName)
-	if _, err := os.Stat(path); err == nil {
+	if _, err := fsys.Stat(path); err == nil {
 		return nil // already pinned (and checked against) by Open
 	}
-	return InstallManifest(dir, n, 0)
+	return InstallManifestFS(fsys, dir, n, 0)
 }
 
 // sweepStaleGenerations removes the leftovers a committed or abandoned
@@ -372,8 +385,8 @@ func writeManifest(dir string, n int) error {
 // live, so everything outside the pinned layout is garbage by
 // construction. Best-effort: a failure to remove garbage never blocks an
 // open.
-func sweepStaleGenerations(dir string, gen uint64) {
-	entries, err := os.ReadDir(dir)
+func sweepStaleGenerations(fsys vfs.FS, dir string, gen uint64) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return
 	}
@@ -388,7 +401,7 @@ func sweepStaleGenerations(dir string, gen uint64) {
 		default:
 			continue
 		}
-		_ = os.RemoveAll(filepath.Join(dir, name))
+		_ = fsys.RemoveAll(filepath.Join(dir, name))
 	}
 }
 
@@ -400,26 +413,32 @@ var shardDirPattern = regexp.MustCompile(`^shard-[0-9]{2}$`)
 // are. Best-effort: the SHARDS file no longer references the layout, so
 // anything left behind is swept by the next Open.
 func RemoveGeneration(dir string, gen uint64, n int) {
+	RemoveGenerationFS(vfs.OS{}, dir, gen, n)
+}
+
+// RemoveGenerationFS is RemoveGeneration on an injected filesystem.
+func RemoveGenerationFS(fsys vfs.FS, dir string, gen uint64, n int) {
+	fsys = vfs.OrOS(fsys)
 	if gen > 0 {
-		_ = os.RemoveAll(GenDir(dir, gen))
+		_ = fsys.RemoveAll(GenDir(dir, gen))
 		return
 	}
 	if n > 1 {
 		for i := 0; i < n; i++ {
-			_ = os.RemoveAll(EngineDir(dir, 0, n, i))
+			_ = fsys.RemoveAll(EngineDir(dir, 0, n, i))
 		}
 		return
 	}
 	// Generation-0 single engine: its files live at the store root next
 	// to SHARDS and any generation directories.
-	ents, err := os.ReadDir(dir)
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	for _, de := range ents {
 		name := de.Name()
 		if name == "MANIFEST" || name == "MANIFEST.tmp" || strings.HasPrefix(name, "run-") {
-			_ = os.Remove(filepath.Join(dir, name))
+			_ = fsys.Remove(filepath.Join(dir, name))
 		}
 	}
 }
@@ -621,12 +640,16 @@ func (s *Store) Commit() (types.Hash, error) {
 // Lock-free: routing reads only immutable fields and the engine read path
 // runs against its published view.
 func (s *Store) Get(addr types.Address) (types.Value, bool, error) {
-	return s.engines[ShardOf(addr, s.n)].Get(addr)
+	i := ShardOf(addr, s.n)
+	v, ok, err := s.engines[i].Get(addr)
+	return v, ok, stampShard(err, i)
 }
 
 // GetAt returns the value of addr active at block height blk.
 func (s *Store) GetAt(addr types.Address, blk uint64) (types.Value, uint64, bool, error) {
-	return s.engines[ShardOf(addr, s.n)].GetAt(addr, blk)
+	i := ShardOf(addr, s.n)
+	v, at, ok, err := s.engines[i].GetAt(addr, blk)
+	return v, at, ok, stampShard(err, i)
 }
 
 // GetBatch resolves many point lookups in one pass, all observing the
@@ -693,12 +716,16 @@ func (sn *Snapshot) Root() types.Hash {
 
 // Get returns the latest value of addr as of the snapshot.
 func (sn *Snapshot) Get(addr types.Address) (types.Value, bool, error) {
-	return sn.shards[ShardOf(addr, sn.n)].Get(addr)
+	i := ShardOf(addr, sn.n)
+	v, ok, err := sn.shards[i].Get(addr)
+	return v, ok, stampShard(err, i)
 }
 
 // GetAt returns the value of addr active at block height blk.
 func (sn *Snapshot) GetAt(addr types.Address, blk uint64) (types.Value, uint64, bool, error) {
-	return sn.shards[ShardOf(addr, sn.n)].GetAt(addr, blk)
+	i := ShardOf(addr, sn.n)
+	v, at, ok, err := sn.shards[i].GetAt(addr, blk)
+	return v, at, ok, stampShard(err, i)
 }
 
 // GetBatch resolves many point lookups, all consistent with the
@@ -732,7 +759,7 @@ func (sn *Snapshot) GetBatch(addrs []types.Address) ([]core.ReadResult, error) {
 	resolve := func(i int) error {
 		res, err := sn.shards[i].GetBatch(buckets[i])
 		if err != nil {
-			return err
+			return stampShard(err, i)
 		}
 		for k, pos := range positions[i] {
 			out[pos] = res[k]
@@ -853,7 +880,7 @@ func (s *Store) ProvQuery(addr types.Address, blkLo, blkHi uint64) ([]core.Versi
 	defer snap.Release()
 	versions, inner, err := snap.ProvQuery(addr, blkLo, blkHi)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, stampShard(err, idx)
 	}
 	p := &Proof{Shard: idx, Shards: s.n, Inner: inner, Root: snap.Root()}
 	if s.n == 1 {
@@ -1013,6 +1040,7 @@ func (s *Store) Stats() core.Stats {
 		st.PageReads += es.PageReads
 		st.CacheHits += es.CacheHits
 		st.SeqReads += es.SeqReads
+		st.CorruptReads += es.CorruptReads
 		// All shards share one tracer (Options.Trace is copied to every
 		// engine), so each reports the same drop counter: take the max,
 		// not the sum, or N shards would multiply every drop by N.

@@ -1,0 +1,79 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrCorrupt is the typed corruption error every read and scrub path
+// reports instead of garbage bytes or a panic: a run file, manifest, or
+// Merkle node whose on-disk bytes fail an integrity invariant (checksum
+// mismatch, broken key ordering, learned-index miss, hash mismatch,
+// truncation). Layers decorate it as it propagates: the run layer fills
+// File/Page/Detail, the engine adds Store/Level, the shard layer adds
+// Shard. Match it with errors.As; the zero value of a location field
+// (-1 for the integers) means "not attributed".
+type ErrCorrupt struct {
+	// Store is the store (engine) directory.
+	Store string
+	// Shard is the owning shard index, or -1 for a single-engine store.
+	Shard int
+	// Level is the LSM level of the damaged run, or -1 when the damage
+	// is outside a run (e.g. the manifest).
+	Level int
+	// File is the path of the damaged file.
+	File string
+	// Page is the page (value/index files) or node index (Merkle
+	// files) the damage was pinned to, or -1 when unattributed.
+	Page int64
+	// Detail says which invariant failed.
+	Detail string
+	// Err is the underlying error, if any (errors.Unwrap).
+	Err error
+}
+
+// NewCorrupt returns an ErrCorrupt pinned to a file with the location
+// fields unattributed.
+func NewCorrupt(file string, page int64, detail string) *ErrCorrupt {
+	return &ErrCorrupt{Shard: -1, Level: -1, File: file, Page: page, Detail: detail}
+}
+
+// CorruptFrom wraps err as an ErrCorrupt for file; when err already is
+// one, it is returned unchanged (the innermost attribution wins).
+func CorruptFrom(file string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var ec *ErrCorrupt
+	if errors.As(err, &ec) {
+		return err
+	}
+	return &ErrCorrupt{Shard: -1, Level: -1, File: file, Page: -1, Detail: err.Error(), Err: err}
+}
+
+func (e *ErrCorrupt) Error() string {
+	var b strings.Builder
+	b.WriteString("corrupt")
+	if e.Store != "" {
+		fmt.Fprintf(&b, " store %s", e.Store)
+	}
+	if e.Shard >= 0 {
+		fmt.Fprintf(&b, " shard %d", e.Shard)
+	}
+	if e.Level >= 0 {
+		fmt.Fprintf(&b, " level %d", e.Level)
+	}
+	if e.File != "" {
+		fmt.Fprintf(&b, ": %s", e.File)
+	}
+	if e.Page >= 0 {
+		fmt.Fprintf(&b, " page %d", e.Page)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, ": %s", e.Detail)
+	}
+	return b.String()
+}
+
+func (e *ErrCorrupt) Unwrap() error { return e.Err }

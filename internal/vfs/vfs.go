@@ -1,0 +1,166 @@
+// Package vfs abstracts the filesystem operations the storage engine
+// performs — create/open/read/write/sync/rename/remove — behind a small
+// interface so tests can deterministically inject faults (torn writes,
+// dropped fsyncs, post-crash state, read errors, bit flips) at any
+// syscall index. The production implementation, OS, is a zero-cost
+// passthrough to the os package; MemFS is the fault-injecting in-memory
+// implementation used by the crash-consistency sweep.
+package vfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the per-file surface the engine uses: positional and
+// sequential I/O, durability, and metadata.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Writer
+	io.Closer
+	// Sync flushes the file's buffered data to durable storage.
+	Sync() error
+	// Truncate changes the file size.
+	Truncate(size int64) error
+	// Stat returns file metadata (the engine reads only Size).
+	Stat() (os.FileInfo, error)
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem surface the engine routes every data,
+// index, Merkle, metadata, manifest, and spool operation through.
+type FS interface {
+	// Create opens name for writing, creating or truncating it.
+	Create(name string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// OpenFile is the generalized open (os.O_* flags).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath. Durability of
+	// the rename itself requires SyncDir on the parent directory.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// RemoveAll deletes a file or directory tree.
+	RemoveAll(path string) error
+	// MkdirAll creates a directory and its missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir lists a directory, sorted by name.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// Stat returns metadata for a path.
+	Stat(name string) (os.FileInfo, error)
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile writes a whole file without any durability guarantee
+	// (like os.WriteFile). Commit points must use WriteFileAtomic.
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	// SyncDir fsyncs a directory, making its entries (creates,
+	// renames, removes) durable.
+	SyncDir(name string) error
+}
+
+// OS is the production FS: a direct passthrough to the os package.
+type OS struct{}
+
+type osFile struct{ *os.File }
+
+func (OS) Create(name string) (File, error) {
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (OS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error             { return os.Remove(name) }
+func (OS) RemoveAll(path string) error          { return os.RemoveAll(path) }
+func (OS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (OS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (OS) Stat(name string) (os.FileInfo, error)      { return os.Stat(name) }
+func (OS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (OS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// OrOS returns fsys, or the OS passthrough when fsys is nil — the
+// idiom every Options.FS consumer uses to default.
+func OrOS(fsys FS) FS {
+	if fsys == nil {
+		return OS{}
+	}
+	return fsys
+}
+
+// IsOS reports whether fsys is the real filesystem. Advisory file
+// locks (flock) only exist there; in-memory filesystems skip them.
+func IsOS(fsys FS) bool {
+	_, ok := fsys.(OS)
+	return ok
+}
+
+// WriteFileAtomic durably replaces path with data: it writes
+// path+".tmp", fsyncs it, closes it, renames it over path, and fsyncs
+// the parent directory so the rename survives a crash. Every commit
+// point (run metadata, engine MANIFEST, shard SHARDS) goes through
+// this; a plain WriteFile+Rename can be reverted or torn by a crash.
+func WriteFileAtomic(fsys FS, path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}
